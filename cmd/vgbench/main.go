@@ -1,0 +1,97 @@
+// Command vgbench regenerates every table and figure of the paper's
+// evaluation (§8) plus the §7 security matrix, printing measured values
+// beside the paper's. Run with -quick for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small iteration counts")
+	only := flag.String("only", "", "run a single experiment: t2|t3|t4|t5|f2|f3|f4|sec")
+	csvDir := flag.String("csv", "", "also write machine-readable results to this directory")
+	flag.Parse()
+
+	sc := experiments.FullScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+
+	run := func(name string) bool { return *only == "" || *only == name }
+
+	export := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if run("t2") {
+		rows := experiments.Table2(sc)
+		fmt.Println(experiments.FormatTable2(rows))
+		if *csvDir != "" {
+			export(experiments.ExportTable2(*csvDir, rows))
+		}
+	}
+	if run("t3") {
+		rows := experiments.Table3(sc)
+		fmt.Println(experiments.FormatFileRates("Table 3. Files deleted per second", rows))
+		if *csvDir != "" {
+			export(experiments.ExportFileRates(*csvDir, "table3", rows))
+		}
+	}
+	if run("t4") {
+		rows := experiments.Table4(sc)
+		fmt.Println(experiments.FormatFileRates("Table 4. Files created per second", rows))
+		if *csvDir != "" {
+			export(experiments.ExportFileRates(*csvDir, "table4", rows))
+		}
+	}
+	if run("f2") {
+		pts := experiments.Figure2(sc)
+		fmt.Println(experiments.FormatSeries("Figure 2. thttpd bandwidth (native vs Virtual Ghost kernel)",
+			pts, "native", "vghost"))
+		if *csvDir != "" {
+			export(experiments.ExportSeries(*csvDir, "figure2", pts))
+		}
+	}
+	if run("f3") {
+		pts := experiments.Figure3(sc)
+		fmt.Println(experiments.FormatSeries("Figure 3. sshd transfer rate (native vs Virtual Ghost kernel)",
+			pts, "native", "vghost"))
+		if *csvDir != "" {
+			export(experiments.ExportSeries(*csvDir, "figure3", pts))
+		}
+	}
+	if run("f4") {
+		pts := experiments.Figure4(sc)
+		fmt.Println(experiments.FormatSeries("Figure 4. ssh client transfer rate on Virtual Ghost (original vs ghosting)",
+			pts, "original", "ghosting"))
+		if *csvDir != "" {
+			export(experiments.ExportSeries(*csvDir, "figure4", pts))
+		}
+	}
+	if run("t5") {
+		res := experiments.Table5(sc)
+		fmt.Println(experiments.FormatTable5(res, sc.PostmarkTxns))
+		if *csvDir != "" {
+			export(experiments.ExportTable5(*csvDir, res, sc.PostmarkTxns))
+		}
+	}
+	if run("sec") {
+		rows := experiments.SecurityMatrix()
+		fmt.Println(experiments.FormatSecurity(rows))
+		if *csvDir != "" {
+			export(experiments.ExportSecurity(*csvDir, rows))
+		}
+	}
+	if *only != "" && !map[string]bool{"t2": true, "t3": true, "t4": true, "t5": true,
+		"f2": true, "f3": true, "f4": true, "sec": true}[*only] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

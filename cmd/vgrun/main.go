@@ -1,0 +1,100 @@
+// Command vgrun boots a simulated machine in the chosen configuration
+// and runs one of the bundled workloads, printing the console
+// transcript and timing. It is the quickest way to poke at the system:
+//
+//	vgrun -mode vghost -app keygen
+//	vgrun -mode native -app postmark -n 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/apps/lmbench"
+	"repro/internal/apps/postmark"
+	"repro/internal/apps/ssh"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/libc"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "vghost", "kernel configuration: native|vghost|shadow")
+	app := flag.String("app", "hello", "workload: hello|keygen|postmark|lmbench")
+	n := flag.Int("n", 2000, "transaction/iteration count")
+	flag.Parse()
+
+	var mode repro.Mode
+	switch *modeFlag {
+	case "native":
+		mode = repro.Native
+	case "vghost":
+		mode = repro.VirtualGhost
+	case "shadow":
+		mode = repro.Shadow
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	sys, err := repro.NewSystem(mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	k := sys.Kernel
+	start := k.M.Clock.Cycles()
+
+	switch *app {
+	case "hello":
+		if _, err := k.Spawn("hello", func(p *kernel.Proc) {
+			l, err := libc.NewGhosting(p)
+			if err != nil {
+				p.Exit(1)
+			}
+			msg, _ := l.Malloc(64)
+			l.WriteGhost(msg, []byte("hello from ghost memory\n"))
+			fd, _ := l.Open("/dev/console", kernel.ORdWr)
+			if _, err := l.Write(fd, msg, 24); err != nil {
+				p.Exit(1)
+			}
+		}); err != nil {
+			fatal(err)
+		}
+		k.RunUntilIdle()
+	case "keygen":
+		appKey := make([]byte, 32)
+		k.M.RNG.Fill(appKey)
+		if _, err := k.InstallTrustedProgram("/bin/ssh-keygen", appKey, ssh.KeygenMain); err != nil {
+			fatal(err)
+		}
+		if _, err := k.SpawnProgram("/bin/ssh-keygen"); err != nil {
+			fatal(err)
+		}
+		k.RunUntilIdle()
+		names, _ := k.FS.ReadDir("/")
+		fmt.Printf("files: %v\n", names)
+	case "postmark":
+		res := postmark.Run(k, postmark.PaperConfig(*n))
+		fmt.Printf("postmark: %d txns in %.3f s (%.0f tps) creates=%d deletes=%d reads=%d appends=%d\n",
+			res.Transactions, res.Seconds, res.TPS, res.Creates, res.Deletes, res.Reads, res.Appends)
+	case "lmbench":
+		fmt.Printf("null syscall: %.3f us\n", lmbench.NullSyscall(k, *n))
+		fmt.Printf("open/close:   %.3f us\n", lmbench.OpenClose(k, *n))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	fmt.Printf("mode=%v virtual time=%.3f ms syscalls=%d\n",
+		mode, hw.Seconds(k.M.Clock.Cycles()-start)*1e3, k.Stats().Syscalls)
+	for _, line := range sys.Console() {
+		fmt.Println("console:", line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

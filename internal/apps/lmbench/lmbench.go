@@ -1,0 +1,251 @@
+// Package lmbench reimplements the LMBench micro-operations the paper
+// measures in Table 2 (null syscall, open/close, mmap, page fault,
+// signal install/delivery, fork+exit, fork+exec, select) and the file
+// create/delete loops of Tables 3 and 4. Latencies are measured in
+// virtual cycles on the machine clock and reported in microseconds at
+// the nominal 3.4 GHz.
+package lmbench
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/libc"
+)
+
+// DefaultIters matches the paper's per-run iteration count.
+const DefaultIters = 1000
+
+// measure runs body inside a fresh process and returns the cycles it
+// took.
+func measure(k *kernel.Kernel, body func(p *kernel.Proc)) uint64 {
+	var start, end uint64
+	_, err := k.Spawn("lmbench", func(p *kernel.Proc) {
+		start = k.M.Clock.Cycles()
+		body(p)
+		end = k.M.Clock.Cycles()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("lmbench: spawn: %v", err))
+	}
+	k.RunUntilIdle()
+	return end - start
+}
+
+// perOpMicros converts total cycles to µs/op.
+func perOpMicros(cycles uint64, ops int) float64 {
+	return hw.Micros(cycles) / float64(ops)
+}
+
+// NullSyscall measures getpid latency (µs).
+func NullSyscall(k *kernel.Kernel, iters int) float64 {
+	c := measure(k, func(p *kernel.Proc) {
+		for i := 0; i < iters; i++ {
+			p.Syscall(kernel.SysGetpid)
+		}
+	})
+	return perOpMicros(c, iters)
+}
+
+// OpenClose measures open+close latency on an existing file (µs).
+func OpenClose(k *kernel.Kernel, iters int) float64 {
+	k.WriteKernelFile("/lmb.open", []byte("x"))
+	c := measure(k, func(p *kernel.Proc) {
+		path := p.PushString("/lmb.open")
+		for i := 0; i < iters; i++ {
+			fd := p.Syscall(kernel.SysOpen, path, kernel.ORdOnly)
+			p.Syscall(kernel.SysClose, fd)
+		}
+	})
+	return perOpMicros(c, iters)
+}
+
+// Mmap measures mmap+munmap of a 64 KiB anonymous region (µs).
+func Mmap(k *kernel.Kernel, iters int) float64 {
+	const length = 64 * 1024
+	c := measure(k, func(p *kernel.Proc) {
+		for i := 0; i < iters; i++ {
+			base := p.Syscall(kernel.SysMmap, length, ^uint64(0), 0)
+			p.Syscall(kernel.SysMunmap, base, length)
+		}
+	})
+	return perOpMicros(c, iters)
+}
+
+// PageFault measures the fault-in latency of file-backed pages (µs per
+// fault), the LMBench "page fault" test: a file is mapped and each page
+// touched once.
+func PageFault(k *kernel.Kernel, pages int) float64 {
+	data := make([]byte, pages*hw.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	k.WriteKernelFile("/lmb.mapped", data)
+	// Push the file out of the buffer cache so faults hit the disk, as
+	// they do on a freshly mapped file in LMBench's timing.
+	if err := k.FS.Cache().DropClean(); err != nil {
+		panic(err)
+	}
+	c := measure(k, func(p *kernel.Proc) {
+		path := p.PushString("/lmb.mapped")
+		fd := p.Syscall(kernel.SysOpen, path, kernel.ORdOnly)
+		base := p.Syscall(kernel.SysMmap, uint64(pages*hw.PageSize), fd, 0)
+		for i := 0; i < pages; i++ {
+			p.Load(base+uint64(i*hw.PageSize), 1)
+		}
+		p.Syscall(kernel.SysClose, fd)
+	})
+	return perOpMicros(c, pages)
+}
+
+// SigInstall measures signal-handler installation (µs): the ghosting
+// path registers the handler with the VM (sva.permitFunction) and then
+// calls sigaction, as the libc wrapper does.
+func SigInstall(k *kernel.Kernel, iters int) float64 {
+	c := measure(k, func(p *kernel.Proc) {
+		addr := p.RegisterCode(func(p *kernel.Proc, args []uint64) {})
+		if err := p.PermitFunction(addr); err != nil {
+			panic(err)
+		}
+		start := k.M.Clock.Cycles()
+		for i := 0; i < iters; i++ {
+			p.Syscall(kernel.SysSigact, kernel.SIGUSR1, addr)
+		}
+		_ = start
+	})
+	return perOpMicros(c, iters)
+}
+
+// SigDeliver measures delivery of a signal to the current process (µs).
+func SigDeliver(k *kernel.Kernel, iters int) float64 {
+	c := measure(k, func(p *kernel.Proc) {
+		addr := p.RegisterCode(func(p *kernel.Proc, args []uint64) {})
+		if err := p.PermitFunction(addr); err != nil {
+			panic(err)
+		}
+		p.Syscall(kernel.SysSigact, kernel.SIGUSR1, addr)
+		for i := 0; i < iters; i++ {
+			p.Syscall(kernel.SysKill, uint64(p.PID), kernel.SIGUSR1)
+		}
+	})
+	return perOpMicros(c, iters)
+}
+
+// ForkExit measures fork + child exit + wait (µs).
+func ForkExit(k *kernel.Kernel, iters int) float64 {
+	c := measure(k, func(p *kernel.Proc) {
+		for i := 0; i < iters; i++ {
+			p.Fork(func(c *kernel.Proc) { c.Exit(0) })
+			p.Wait()
+		}
+	})
+	return perOpMicros(c, iters)
+}
+
+// ForkExec measures fork + execve of /bin/true + wait (µs).
+func ForkExec(k *kernel.Kernel, iters int) float64 {
+	if _, err := k.InstallTrustedProgram("/bin/true", nil, func(p *kernel.Proc) {
+		p.Exit(0)
+	}); err != nil {
+		panic(err)
+	}
+	c := measure(k, func(p *kernel.Proc) {
+		for i := 0; i < iters; i++ {
+			p.Fork(func(c *kernel.Proc) {
+				_ = c.Exec("/bin/true")
+				c.Exit(1)
+			})
+			p.Wait()
+		}
+	})
+	return perOpMicros(c, iters)
+}
+
+// Select measures select() over nfds file descriptors (µs).
+func Select(k *kernel.Kernel, nfds, iters int) float64 {
+	k.WriteKernelFile("/lmb.sel", []byte("x"))
+	c := measure(k, func(p *kernel.Proc) {
+		path := p.PushString("/lmb.sel")
+		fds := make([]int, nfds)
+		for i := range fds {
+			fds[i] = int(p.Syscall(kernel.SysOpen, path, kernel.ORdOnly))
+		}
+		arr := p.Alloc(4 * nfds)
+		for i, fd := range fds {
+			p.Store(arr+uint64(4*i), 4, uint64(fd))
+		}
+		start := k.M.Clock.Cycles()
+		for i := 0; i < iters; i++ {
+			p.Syscall(kernel.SysSelect, arr, uint64(nfds), 0)
+		}
+		_ = start
+	})
+	return perOpMicros(c, iters)
+}
+
+// FileCreate measures files created per second for the given file size
+// (Table 4). Sizes of 0 are the pure create path.
+func FileCreate(k *kernel.Kernel, size, count int) float64 {
+	payload := make([]byte, size)
+	c := measure(k, func(p *kernel.Proc) {
+		var buf uint64
+		if size > 0 {
+			buf = p.Alloc(size)
+			p.Write(buf, payload)
+		}
+		for i := 0; i < count; i++ {
+			path := p.PushString(fmt.Sprintf("/c%05d", i))
+			fd := p.Syscall(kernel.SysOpen, path, kernel.OCreat|kernel.ORdWr)
+			if size > 0 {
+				p.Syscall(kernel.SysWrite, fd, buf, uint64(size))
+			}
+			p.Syscall(kernel.SysClose, fd)
+		}
+	})
+	return float64(count) / hw.Seconds(c)
+}
+
+// FileDelete measures files deleted per second for the given file size
+// (Table 3). The files are created outside the timed region.
+func FileDelete(k *kernel.Kernel, size, count int) float64 {
+	payload := make([]byte, size)
+	for i := 0; i < count; i++ {
+		k.WriteKernelFile(fmt.Sprintf("/d%05d", i), payload)
+	}
+	c := measure(k, func(p *kernel.Proc) {
+		for i := 0; i < count; i++ {
+			path := p.PushString(fmt.Sprintf("/d%05d", i))
+			p.Syscall(kernel.SysUnlink, path)
+		}
+	})
+	return float64(count) / hw.Seconds(c)
+}
+
+// GhostRoundTrip measures a ghosting application's read of file data
+// into ghost memory (not part of Table 2; used by ablation benches).
+func GhostRoundTrip(k *kernel.Kernel, size, iters int) float64 {
+	payload := make([]byte, size)
+	k.WriteKernelFile("/lmb.ghost", payload)
+	c := measure(k, func(p *kernel.Proc) {
+		l, err := libc.NewGhosting(p)
+		if err != nil {
+			panic(err)
+		}
+		dst, err := l.Malloc(size)
+		if err != nil {
+			panic(err)
+		}
+		fd, err := l.Open("/lmb.ghost", kernel.ORdOnly)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < iters; i++ {
+			p.Syscall(kernel.SysLseek, uint64(fd), 0, 0)
+			if _, err := l.Read(fd, dst, size); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return perOpMicros(c, iters)
+}

@@ -1,0 +1,83 @@
+package lmbench
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func kernels(t *testing.T) (nat, vg *repro.System) {
+	t.Helper()
+	return repro.MustNewSystem(repro.Native), repro.MustNewSystem(repro.VirtualGhost)
+}
+
+func TestAllMicrobenchmarksReturnPositive(t *testing.T) {
+	nat, _ := kernels(t)
+	k := nat.Kernel
+	checks := map[string]float64{
+		"null":       NullSyscall(k, 50),
+		"open/close": OpenClose(k, 30),
+		"mmap":       Mmap(k, 20),
+		"pagefault":  PageFault(k, 16),
+		"siginstall": SigInstall(k, 30),
+		"sigdeliver": SigDeliver(k, 20),
+		"fork+exit":  ForkExit(k, 3),
+		"fork+exec":  ForkExec(k, 3),
+		"select":     Select(k, 16, 20),
+		"ghost-rt":   GhostRoundTrip(repro.MustNewSystem(repro.VirtualGhost).Kernel, 4096, 5),
+	}
+	for name, v := range checks {
+		if v <= 0 {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+}
+
+func TestLatencyOrderings(t *testing.T) {
+	nat, _ := kernels(t)
+	k := nat.Kernel
+	null := NullSyscall(k, 100)
+	oc := OpenClose(k, 50)
+	fork := ForkExit(k, 4)
+	if !(null < oc && oc < fork) {
+		t.Errorf("orderings violated: null=%.3f open/close=%.3f fork=%.3f", null, oc, fork)
+	}
+}
+
+func TestFileRatesPositiveAndSizeSensitive(t *testing.T) {
+	nat, _ := kernels(t)
+	small := FileCreate(nat.Kernel, 0, 50)
+	nat2 := repro.MustNewSystem(repro.Native)
+	big := FileCreate(nat2.Kernel, 10240, 50)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("rates: %f %f", small, big)
+	}
+	if big > small {
+		t.Errorf("larger files should create slower (%.0f vs %.0f)", big, small)
+	}
+	del := FileDelete(repro.MustNewSystem(repro.Native).Kernel, 1024, 50)
+	if del <= 0 {
+		t.Errorf("delete rate %f", del)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NullSyscall(repro.MustNewSystem(repro.Native).Kernel, 100)
+	b := NullSyscall(repro.MustNewSystem(repro.Native).Kernel, 100)
+	if a != b {
+		t.Errorf("virtual time is nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPageFaultIsDiskBound(t *testing.T) {
+	nat, vg := kernels(t)
+	n := PageFault(nat.Kernel, 32)
+	v := PageFault(vg.Kernel, 32)
+	if v/n > 1.5 {
+		t.Errorf("page fault should be I/O-dominated: %.2fx", v/n)
+	}
+	// A fault costs at least the disk latency (~24 µs).
+	if n < 20 {
+		t.Errorf("fault latency %.1fµs implausibly cheap", n)
+	}
+}

@@ -1,0 +1,54 @@
+package postmark
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestRunCompletesAllPhases(t *testing.T) {
+	sys := repro.MustNewSystem(repro.Native)
+	res := Run(sys.Kernel, PaperConfig(300))
+	if res.Transactions != 300 {
+		t.Errorf("transactions = %d", res.Transactions)
+	}
+	if res.Creates+res.Deletes+res.Reads+res.Appends == 0 {
+		t.Fatalf("no operations recorded: %+v", res)
+	}
+	// The biases of 5 give roughly even create/delete vs read/append
+	// splits; sanity-check that every class occurred.
+	if res.Creates == 0 || res.Deletes == 0 || res.Reads == 0 || res.Appends == 0 {
+		t.Errorf("operation mix missing a class: %+v", res)
+	}
+	if res.Seconds <= 0 || res.TPS <= 0 {
+		t.Errorf("no timing: %+v", res)
+	}
+	// Teardown deleted the working set.
+	names, err := sys.Kernel.FS.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if len(n) > 2 && n[:2] == "pm" {
+			t.Errorf("leftover postmark file %q", n)
+		}
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	a := Run(repro.MustNewSystem(repro.Native).Kernel, PaperConfig(200))
+	b := Run(repro.MustNewSystem(repro.Native).Kernel, PaperConfig(200))
+	if a.Creates != b.Creates || a.Reads != b.Reads || a.Seconds != b.Seconds {
+		t.Errorf("same seed, different runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestVirtualGhostOverheadShape(t *testing.T) {
+	nat := Run(repro.MustNewSystem(repro.Native).Kernel, PaperConfig(300))
+	vg := Run(repro.MustNewSystem(repro.VirtualGhost).Kernel, PaperConfig(300))
+	ratio := vg.Seconds / nat.Seconds
+	// Paper Table 5: 4.72x. Accept the band 3x–6.5x.
+	if ratio < 3 || ratio > 6.5 {
+		t.Errorf("postmark overhead %.2fx outside the paper's band", ratio)
+	}
+}

@@ -1,0 +1,196 @@
+// Package attack implements the hostile-OS attack suite of paper §2.2
+// and §7: a Kong-style loadable rootkit module that interposes on the
+// read() system call and mounts (1) a direct ghost-memory read and
+// (2) a signal-handler code-injection exfiltration, plus the remaining
+// attack vectors — MMU remapping, DMA, interrupted-state tampering,
+// Iago mmap and randomness attacks, swap inspection/tampering, binary
+// substitution, and kernel control-flow hijacking (return-address
+// smash / indirect-call overwrite).
+//
+// Every attack is written to *succeed on the native configuration* and
+// is expected to be defeated by the corresponding Virtual Ghost
+// mechanism; the tests and cmd/vgattack run each attack on both
+// configurations and compare.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/vir"
+)
+
+// Mode selects which of the two §7 rootkit attacks fires on the
+// victim's next read().
+type Mode int
+
+const (
+	// DirectRead loads the victim's secret directly from its address
+	// space inside kernel code and logs it to the console.
+	DirectRead Mode = iota
+	// SigInject maps a buffer into the victim, copies exploit code in,
+	// points a signal handler at it, and signals the victim so the
+	// exploit runs in the victim's context and writes the secret to an
+	// attacker-chosen file.
+	SigInject
+)
+
+// Rootkit is the installed malicious module.
+type Rootkit struct {
+	k    *kernel.Kernel
+	mod  *kernel.Module
+	orig kernel.SyscallHandler
+
+	// Victim targeting, configurable by a non-privileged user (as in
+	// Kong's design).
+	VictimPID  int
+	TargetAddr uint64
+	TargetLen  int
+	ExfilPath  string
+	Mode       Mode
+
+	armed bool
+	// Fired reports whether the attack has triggered.
+	Fired bool
+	// FireErr records any error the attack machinery hit when it
+	// fired (e.g. the VM refusing sva.ipush.function).
+	FireErr error
+}
+
+// BuildModuleIR constructs the malicious module's IR: the data-stealing
+// loop is genuine kernel code that the Virtual Ghost translator will
+// sandbox (and the native translator will not).
+func BuildModuleIR() *vir.Module {
+	m := vir.NewModule("maliciousmod")
+
+	// steal_direct(addr, nbytes): read the victim's memory 8 bytes at
+	// a time and accumulate it into the kernel log.
+	b := vir.NewFunction("steal_direct", 2)
+	addr := b.Param(0)
+	nbytes := b.Param(1)
+	i := b.Mov(vir.Imm(0))
+	b.Br("loop")
+	b.NewBlock("loop")
+	cond := b.CmpLT(i, nbytes)
+	b.CondBr(cond, "body", "done")
+	b.NewBlock("body")
+	ea := b.Add(addr, i)
+	v := b.Load(ea, 8)
+	b.Call("klog_acc", v)
+	next := b.Add(i, vir.Imm(8))
+	b.Assign(i, next)
+	b.Br("loop")
+	b.NewBlock("done")
+	b.Call("klog_flush")
+	b.Ret(vir.Imm(0))
+	if err := m.AddFunc(b.Fn()); err != nil {
+		panic(err)
+	}
+
+	// mod_init(): innocuous-looking initialisation.
+	ini := vir.NewFunction("mod_init", 0)
+	ini.Ret(vir.Imm(0))
+	if err := m.AddFunc(ini.Fn()); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// InstallRootkit loads the malicious module (through the HAL's
+// translator — under Virtual Ghost it comes back sandboxed + CFI'd) and
+// interposes on the read() system call handler.
+func InstallRootkit(k *kernel.Kernel) (*Rootkit, error) {
+	mod, err := k.LoadModule(BuildModuleIR())
+	if err != nil {
+		return nil, fmt.Errorf("attack: module load: %w", err)
+	}
+	rk := &Rootkit{k: k, mod: mod, ExfilPath: "/tmp.stolen"}
+	rk.orig = k.SetSyscallHandler(kernel.SysRead, rk.readHandler)
+	return rk, nil
+}
+
+// Arm configures the victim and enables the trap.
+func (rk *Rootkit) Arm(victimPID int, targetAddr uint64, targetLen int, mode Mode) {
+	rk.VictimPID = victimPID
+	rk.TargetAddr = targetAddr
+	rk.TargetLen = targetLen
+	rk.Mode = mode
+	rk.armed = true
+	rk.Fired = false
+	rk.FireErr = nil
+}
+
+// Uninstall restores the original read() handler.
+func (rk *Rootkit) Uninstall() {
+	rk.k.SetSyscallHandler(kernel.SysRead, rk.orig)
+}
+
+// readHandler is the replaced read() system-call handler: it performs
+// the attack when the victim reads from any descriptor, then services
+// the read normally so the victim suspects nothing.
+func (rk *Rootkit) readHandler(k *kernel.Kernel, p *kernel.Proc, ic core.IContext) uint64 {
+	if rk.armed && p.PID == rk.VictimPID {
+		rk.armed = false
+		rk.Fired = true
+		switch rk.Mode {
+		case DirectRead:
+			rk.fireDirect(p)
+		case SigInject:
+			rk.fireSigInject(p)
+		}
+	}
+	return rk.orig(k, p, ic)
+}
+
+// fireDirect runs the module's data-stealing loop over the victim's
+// memory. The module code executes exactly as the translator emitted
+// it: uninstrumented loads natively, mask-guarded loads under Virtual
+// Ghost.
+func (rk *Rootkit) fireDirect(p *kernel.Proc) {
+	_, err := rk.k.RunModuleFunc(rk.mod, "steal_direct",
+		rk.TargetAddr, uint64(rk.TargetLen))
+	rk.FireErr = err
+}
+
+// fireSigInject is the paper's second attack, step by step:
+// open the exfiltration file, allocate memory in the victim's address
+// space via mmap, copy exploit code into the buffer, install a signal
+// handler pointing at it, and send the signal.
+func (rk *Rootkit) fireSigInject(victim *kernel.Proc) {
+	k := rk.k
+	// 1. The malicious module opens the file the data should be
+	//    written to and plants it in the victim's descriptor table.
+	file, ok := k.OpenKernelFile(rk.ExfilPath)
+	if !ok {
+		rk.FireErr = fmt.Errorf("attack: cannot open exfil file")
+		return
+	}
+	exfilFD := k.InstallRawFD(victim, file)
+	// 2. Allocate memory in the victim's address space via mmap().
+	buf, ok := k.MmapIntoProcess(victim, (rk.TargetLen+4095)/4096+1)
+	if !ok {
+		rk.FireErr = fmt.Errorf("attack: mmap into victim failed")
+		return
+	}
+	// 3. Copy the exploit code into the buffer. When (if) control ever
+	//    reaches this address, the code runs *in the victim's context*
+	//    with full access to the victim's ghost memory — copying the
+	//    secret into the traditional-memory buffer and write()ing it
+	//    out.
+	target, length, path := rk.TargetAddr, rk.TargetLen, rk.ExfilPath
+	k.PlantCode(uint64(buf), func(vp *kernel.Proc, args []uint64) {
+		secret := vp.Read(target, length)
+		vp.Write(uint64(buf)+64, secret)
+		vp.Syscall(kernel.SysWrite, uint64(exfilFD), uint64(buf)+64, uint64(len(secret)))
+		_ = path
+	})
+	// 4. Set up a signal handler for the victim that calls the exploit
+	//    code (directly in the kernel's sigacts — no libc, no
+	//    sva.permitFunction).
+	k.SetRawSignalHandler(victim, kernel.SIGUSR2, uint64(buf))
+	// 5. Send the signal. Delivery happens on this very trap's
+	//    return-to-user path; under Virtual Ghost sva.ipush.function
+	//    will refuse the unregistered target.
+	k.PostSignal(victim, kernel.SIGUSR2)
+}

@@ -1,0 +1,91 @@
+package compiler
+
+import "repro/internal/vir"
+
+// KernelCFILabel is the single CFI label used for all kernel control-
+// flow targets. The prototype deliberately used one label for both call
+// sites and function entries to avoid link-time interprocedural call-
+// graph construction (paper §5: "we use one label both for call sites
+// ... and for the first address of every function. While conservative,
+// this call graph ... should suffice for stopping advanced control-data
+// attacks"). We reproduce that conservative policy.
+const KernelCFILabel = 0xCF1
+
+// CFIPass instruments a function for control-flow integrity:
+//
+//   - a CFI label landing pad is placed at the function entry, making
+//     the function a legal target of instrumented indirect calls;
+//   - every return becomes an instrumented return that validates (and
+//     masks to kernel space) its control target;
+//   - every indirect call becomes an instrumented indirect call that
+//     validates its target's label and address range.
+//
+// Together with SandboxPass this guarantees the sandboxing cannot be
+// bypassed by control-flow hijacking (paper §4.3.1).
+func CFIPass(f *vir.Function) {
+	if f.Labeled {
+		return
+	}
+	entry := f.Entry()
+	if entry != nil {
+		entry.Instrs = append(
+			[]vir.Instr{{Op: vir.OpCFILabel, Imm: KernelCFILabel}},
+			entry.Instrs...,
+		)
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case vir.OpRet:
+				b.Instrs[i].Op = vir.OpCFIRet
+			case vir.OpCallInd:
+				b.Instrs[i].Op = vir.OpCFICallInd
+			}
+		}
+	}
+	f.Labeled = true
+}
+
+// CFIModule runs CFIPass over every function.
+func CFIModule(m *vir.Module) {
+	for _, f := range m.Funcs {
+		CFIPass(f)
+	}
+}
+
+// MmapMaskPass is the application-side Iago defence (paper §4.7, §5):
+// it instruments application code so that pointers returned by the
+// mmap system call are bit-masked out of the ghost partition before the
+// application can dereference them. A hostile kernel that returns a
+// ghost-partition pointer from mmap therefore cannot trick the
+// application into overwriting its own ghost memory (stack, heap).
+//
+// syscallSyms names the call symbols whose return values are mmap-like
+// pointers (by default just "mmap").
+func MmapMaskPass(f *vir.Function, syscallSyms ...string) {
+	if len(syscallSyms) == 0 {
+		syscallSyms = []string{"mmap"}
+	}
+	isMmap := make(map[string]bool, len(syscallSyms))
+	for _, s := range syscallSyms {
+		isMmap[s] = true
+	}
+	for _, b := range f.Blocks {
+		out := make([]vir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			out = append(out, in)
+			if in.Op == vir.OpCall && isMmap[in.Sym] {
+				// Mask the returned pointer in place: the raw return
+				// value never escapes into a register the rest of the
+				// function can see unmasked.
+				masked := f.NRegs
+				f.NRegs++
+				out = append(out,
+					vir.Instr{Op: vir.OpMaskGhost, Dst: masked, A: vir.R(in.Dst)},
+					vir.Instr{Op: vir.OpMov, Dst: in.Dst, A: vir.R(masked)},
+				)
+			}
+		}
+		b.Instrs = out
+	}
+}

@@ -1,0 +1,69 @@
+// Package compiler implements the trusted Virtual Ghost compiler: the
+// load/store sandboxing pass, the control-flow-integrity pass, the
+// mmap-return masking pass for application code (the Iago defence), and
+// the translator that turns virtual-instruction-set modules into signed
+// "native" code laid out in a code space. All operating-system code —
+// the core kernel and every dynamically loaded module — must pass
+// through Translate before it can execute in supervisor mode, which is
+// what makes binary code injection inexpressible (paper §1, §4.2).
+package compiler
+
+import (
+	"repro/internal/vir"
+)
+
+// SandboxPass instruments every load, store, and memcpy in the function
+// so that the effective address is bit-masked out of the ghost-memory
+// and SVA-internal partitions before use (paper §4.3.1, §5: "determines
+// whether the address is greater than or equal to 0xffffff0000000000
+// and, if so, ORs it with 2^39"). The pass rewrites the instruction
+// stream in place, allocating fresh registers for the masked addresses.
+//
+// Block copies are masked once per operand per call — the same policy
+// the prototype applied to memcpy().
+func SandboxPass(f *vir.Function) {
+	if f.Sandboxed {
+		return
+	}
+	for _, b := range f.Blocks {
+		out := make([]vir.Instr, 0, len(b.Instrs)*2)
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case vir.OpLoad:
+				masked := f.NRegs
+				f.NRegs++
+				out = append(out,
+					vir.Instr{Op: vir.OpMaskGhost, Dst: masked, A: in.A},
+					vir.Instr{Op: in.Op, Dst: in.Dst, A: vir.R(masked), Size: in.Size},
+				)
+			case vir.OpStore:
+				masked := f.NRegs
+				f.NRegs++
+				out = append(out,
+					vir.Instr{Op: vir.OpMaskGhost, Dst: masked, A: in.A},
+					vir.Instr{Op: in.Op, A: vir.R(masked), B: in.B, Size: in.Size},
+				)
+			case vir.OpMemcpy:
+				mdst := f.NRegs
+				msrc := f.NRegs + 1
+				f.NRegs += 2
+				out = append(out,
+					vir.Instr{Op: vir.OpMaskGhost, Dst: mdst, A: in.A},
+					vir.Instr{Op: vir.OpMaskGhost, Dst: msrc, A: in.B},
+					vir.Instr{Op: in.Op, A: vir.R(mdst), B: vir.R(msrc), C: in.C},
+				)
+			default:
+				out = append(out, in)
+			}
+		}
+		b.Instrs = out
+	}
+	f.Sandboxed = true
+}
+
+// SandboxModule runs SandboxPass over every function.
+func SandboxModule(m *vir.Module) {
+	for _, f := range m.Funcs {
+		SandboxPass(f)
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2Shapes is the headline reproduction check: the measured
+// Table 2 must reproduce the paper's orderings —
+//
+//   - Virtual Ghost slower than native on every row;
+//   - Virtual Ghost FASTER than InkTag on 5 of the 7 compared rows
+//     (all but fork+exec — file create/delete is the 7th comparison,
+//     covered by TestFileRateShapes);
+//   - page fault nearly free for Virtual Ghost (I/O-bound).
+func TestTable2Shapes(t *testing.T) {
+	rows := Table2(QuickScale())
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]T2Row{}
+	for _, r := range rows {
+		byName[r.Test] = r
+		if r.Overhead <= 1.0 {
+			t.Errorf("%s: Virtual Ghost not slower than native (%.2fx)", r.Test, r.Overhead)
+		}
+		if r.Overhead > 8 {
+			t.Errorf("%s: Virtual Ghost overhead %.2fx implausibly high", r.Test, r.Overhead)
+		}
+	}
+	// VG beats InkTag on these five (paper: improvements 1.3x–14.3x).
+	for _, name := range []string{"null syscall", "open/close", "mmap", "page fault", "fork + exit"} {
+		r := byName[name]
+		if r.Overhead >= r.ShadowX {
+			t.Errorf("%s: Virtual Ghost (%.2fx) should beat InkTag (%.2fx)", name, r.Overhead, r.ShadowX)
+		}
+	}
+	// InkTag beats VG on fork+exec (the paper's exec exception).
+	fe := byName["fork + exec"]
+	if fe.ShadowX >= fe.Overhead {
+		t.Errorf("fork+exec: InkTag (%.2fx) should beat Virtual Ghost (%.2fx)", fe.ShadowX, fe.Overhead)
+	}
+	// The null-syscall improvement is the headline 14.3x-class gap.
+	ns := byName["null syscall"]
+	if ns.ShadowX/ns.Overhead < 5 {
+		t.Errorf("null syscall: InkTag/VG gap %.1fx, want >5x", ns.ShadowX/ns.Overhead)
+	}
+	// Page fault is disk-bound: VG within 1.5x.
+	if byName["page fault"].Overhead > 1.5 {
+		t.Errorf("page fault overhead %.2fx, want near-native", byName["page fault"].Overhead)
+	}
+	// Formatting must include every row and the paper columns.
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "null syscall") || !strings.Contains(text, "paper") {
+		t.Errorf("table formatting broken:\n%s", text)
+	}
+}
+
+// TestFileRateShapes checks Tables 3 and 4: ~4–5.5x overheads and rates
+// within an order of magnitude of the paper.
+func TestFileRateShapes(t *testing.T) {
+	sc := QuickScale()
+	for name, rows := range map[string][]FileRateRow{
+		"delete": Table3(sc),
+		"create": Table4(sc),
+	} {
+		for _, r := range rows {
+			if r.Overhead < 3.0 || r.Overhead > 6.0 {
+				t.Errorf("%s %dB: overhead %.2fx outside the paper band", name, r.SizeBytes, r.Overhead)
+			}
+			if r.Native < 20_000 || r.Native > 600_000 {
+				t.Errorf("%s %dB: native rate %.0f/s implausible", name, r.SizeBytes, r.Native)
+			}
+		}
+	}
+}
+
+// TestTable5Shape checks Postmark's ≈4.7x.
+func TestTable5Shape(t *testing.T) {
+	res := Table5(QuickScale())
+	if res.Overhead < 3.0 || res.Overhead > 6.5 {
+		t.Errorf("postmark overhead %.2fx outside the paper band (4.72x)", res.Overhead)
+	}
+}
+
+// TestFigure2Shape: web bandwidth impact is small and shrinks with file
+// size (the paper calls it negligible).
+func TestFigure2Shape(t *testing.T) {
+	pts := Figure2(QuickScale())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		if p.Ratio < 0.70 || p.Ratio > 1.05 {
+			t.Errorf("%dB: thttpd ratio %.2f outside the negligible band", p.SizeBytes, p.Ratio)
+		}
+	}
+	if pts[len(pts)-1].Ratio < pts[0].Ratio {
+		t.Errorf("impact should shrink with file size: %.2f .. %.2f",
+			pts[0].Ratio, pts[len(pts)-1].Ratio)
+	}
+	// Bandwidth grows with file size (per-request overhead amortizes).
+	if pts[len(pts)-1].NativeKBs <= pts[0].NativeKBs {
+		t.Errorf("bandwidth did not grow with size")
+	}
+}
+
+// TestFigure3Shape: paper reports 23% average reduction, 45% worst case
+// for small files, negligible for large ones.
+func TestFigure3Shape(t *testing.T) {
+	pts := Figure3(QuickScale())
+	small := pts[0]
+	large := pts[len(pts)-1]
+	if small.Ratio < 0.40 || small.Ratio > 0.75 {
+		t.Errorf("small-file sshd ratio %.2f, paper worst case is ~0.55", small.Ratio)
+	}
+	if large.Ratio < 0.85 {
+		t.Errorf("large-file sshd ratio %.2f, paper says negligible", large.Ratio)
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.Ratio
+	}
+	avg := sum / float64(len(pts))
+	if avg < 0.65 || avg > 0.95 {
+		t.Errorf("average reduction %.0f%%, paper reports ~23%%", (1-avg)*100)
+	}
+}
+
+// TestFigure4Shape: ghosting client within ~6% of the original (paper:
+// max 5% reduction).
+func TestFigure4Shape(t *testing.T) {
+	pts := Figure4(QuickScale())
+	for _, p := range pts {
+		if p.Ratio < 0.90 || p.Ratio > 1.05 {
+			t.Errorf("%dB: ghosting/original ratio %.3f, paper bound is ~0.95", p.SizeBytes, p.Ratio)
+		}
+	}
+}
+
+// TestSecurityMatrixAllDefended: every attack must succeed natively and
+// fail under Virtual Ghost.
+func TestSecurityMatrixAllDefended(t *testing.T) {
+	rows := SecurityMatrix()
+	if len(rows) < 8 {
+		t.Fatalf("only %d attacks", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Defended {
+			t.Errorf("%s: native=%s vg=%s", r.Attack, r.NativeResult, r.VGResult)
+		}
+	}
+	text := FormatSecurity(rows)
+	if !strings.Contains(text, "rootkit: direct read") {
+		t.Errorf("security formatting broken")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file exports experiment results as CSV for plotting (the
+// figures' data series and the tables' rows).
+
+// WriteCSV writes rows (each a []string) under dir/name.csv.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(header, ","))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(sb.String()), 0o644)
+}
+
+// ExportTable2 writes table2.csv.
+func ExportTable2(dir string, rows []T2Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Test,
+			f3(r.Native), f3(r.VG), f3(r.Shadow),
+			f3(r.Overhead), f3(r.ShadowX),
+			f3(r.Paper.Native), f3(r.Paper.VG), f3(r.Paper.Overhead), f3(r.Paper.InkTag),
+		})
+	}
+	return WriteCSV(dir, "table2",
+		[]string{"test", "native_us", "vghost_us", "shadow_us",
+			"vg_x", "inktag_x", "paper_native_us", "paper_vg_us", "paper_vg_x", "paper_inktag_x"},
+		out)
+}
+
+// ExportFileRates writes table3.csv or table4.csv.
+func ExportFileRates(dir, name string, rows []FileRateRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.SizeBytes),
+			f3(r.Native), f3(r.VG), f3(r.Overhead),
+			f3(r.PaperNat), f3(r.PaperVG), f3(r.PaperRatio),
+		})
+	}
+	return WriteCSV(dir, name,
+		[]string{"size_bytes", "native_per_s", "vghost_per_s", "overhead_x",
+			"paper_native", "paper_vghost", "paper_x"},
+		out)
+}
+
+// ExportSeries writes a figure's bandwidth sweep.
+func ExportSeries(dir, name string, pts []BandwidthPoint) error {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, []string{
+			fmt.Sprint(p.SizeBytes), f3(p.NativeKBs), f3(p.VGKBs), f3(p.Ratio),
+		})
+	}
+	return WriteCSV(dir, name,
+		[]string{"size_bytes", "baseline_kbps", "variant_kbps", "ratio"}, out)
+}
+
+// ExportTable5 writes table5.csv.
+func ExportTable5(dir string, r T5Result, txns int) error {
+	return WriteCSV(dir, "table5",
+		[]string{"transactions", "native_s", "vghost_s", "overhead_x",
+			"paper_native_s", "paper_vghost_s", "paper_x"},
+		[][]string{{
+			fmt.Sprint(txns), f3(r.NativeSecs), f3(r.VGSecs), f3(r.Overhead),
+			f3(r.PaperNative), f3(r.PaperVG), f3(r.PaperOverhead),
+		}})
+}
+
+// ExportSecurity writes security.csv.
+func ExportSecurity(dir string, rows []SecurityRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			csvQuote(r.Attack), csvQuote(r.NativeResult), csvQuote(r.VGResult),
+			fmt.Sprint(r.Defended),
+		})
+	}
+	return WriteCSV(dir, "security",
+		[]string{"attack", "native", "virtualghost", "defended"}, out)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro"
+	"repro/internal/apps/ssh"
+	"repro/internal/attack"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/vgcrypt"
+)
+
+// AgentPort is the local socket the victim ssh-agent serves on.
+const AgentPort = 2222
+
+// SecurityMatrix runs the §7 rootkit attacks (and the wider vector
+// suite) against a live ssh-agent on both configurations and reports
+// the outcomes.
+func SecurityMatrix() []SecurityRow {
+	rows := []SecurityRow{
+		rootkitRow("rootkit: direct read", attack.DirectRead),
+		rootkitRow("rootkit: signal inject", attack.SigInject),
+		vectorRow("mmu remap", runMMURemap),
+		vectorRow("dma", runDMA),
+		vectorRow("swap inspect", runSwapInspect),
+		vectorRow("inline-asm module", func(s *repro.System) (bool, string) {
+			r := attack.AsmModuleAttack(s.Kernel)
+			return r.Succeeded, r.Detail
+		}),
+		vectorRow("kernel ROP", func(s *repro.System) (bool, string) {
+			r := attack.ROPAttack(s.Kernel, false)
+			return r.Succeeded, r.Detail
+		}),
+		vectorRow("fptr hijack", func(s *repro.System) (bool, string) {
+			r := attack.ROPAttack(s.Kernel, true)
+			return r.Succeeded, r.Detail
+		}),
+	}
+	return rows
+}
+
+// agentVictim boots a system with a running ssh-agent and returns its
+// published state.
+func agentVictim(mode repro.Mode) (*repro.System, *ssh.AgentState) {
+	sys := mustSystem(mode)
+	k := sys.Kernel
+	// Provision the agent's sealed key file.
+	appKey := make([]byte, 32)
+	k.M.RNG.Fill(appKey)
+	seedAgentKey(k, appKey)
+	st := &ssh.AgentState{}
+	if _, err := k.InstallTrustedProgram("/bin/ssh-agent", appKey, ssh.AgentMain(AgentPort, st)); err != nil {
+		panic(err)
+	}
+	if _, err := k.SpawnProgram("/bin/ssh-agent"); err != nil {
+		panic(err)
+	}
+	if !k.RunUntil(func() bool { return st.Ready }) {
+		panic("experiments: agent never became ready")
+	}
+	return sys, st
+}
+
+func seedAgentKey(k *kernel.Kernel, appKey []byte) {
+	var seed [32]byte
+	k.M.RNG.Fill(seed[:])
+	pair := vgcrypt.DeriveKeyPair(seed)
+	sealed, err := vgcrypt.SealWithKeyAndCounter(appKey, 1, pair.Private)
+	if err != nil {
+		panic(err)
+	}
+	k.WriteKernelFile(ssh.PrivateKeyPath, sealed)
+}
+
+func rootkitRow(name string, mode attack.Mode) SecurityRow {
+	row := SecurityRow{Attack: name}
+	natOK, natDetail := runRootkit(repro.Native, mode)
+	vgOK, vgDetail := runRootkit(repro.VirtualGhost, mode)
+	row.NativeResult = verdict(natOK, natDetail)
+	row.VGResult = verdict(vgOK, vgDetail)
+	row.Defended = natOK && !vgOK
+	return row
+}
+
+func runRootkit(sysMode repro.Mode, atkMode attack.Mode) (bool, string) {
+	sys, st := agentVictim(sysMode)
+	k := sys.Kernel
+	rk, err := attack.InstallRootkit(k)
+	if err != nil {
+		return false, fmt.Sprintf("module rejected: %v", err)
+	}
+	rk.Arm(st.PID, st.SecretAddr, len(ssh.AgentSecret), atkMode)
+	// Drive the agent: a client request makes it read() from the
+	// socket, triggering the interposed handler.
+	done := false
+	if _, err := k.Spawn("driver", func(p *kernel.Proc) {
+		fd := p.Syscall(kernel.SysSocket)
+		p.Syscall(kernel.SysConnect, fd, AgentPort)
+		req := p.PushString("SIGN hello")
+		p.Syscall(kernel.SysSendTo, fd, req, 10)
+		buf := p.Alloc(128)
+		p.Syscall(kernel.SysRecv, fd, buf, 128)
+		p.Syscall(kernel.SysClose, fd)
+		// Quit the agent.
+		fd = p.Syscall(kernel.SysSocket)
+		p.Syscall(kernel.SysConnect, fd, AgentPort)
+		q := p.PushString("QUIT")
+		p.Syscall(kernel.SysSendTo, fd, q, 4)
+		p.Syscall(kernel.SysClose, fd)
+		done = true
+	}); err != nil {
+		panic(err)
+	}
+	if !k.RunUntil(func() bool { return done && rk.Fired }) {
+		return false, "attack never triggered"
+	}
+	k.RunUntilIdle()
+	switch atkMode {
+	case attack.DirectRead:
+		if k.Console().Contains(ssh.AgentSecret[:24]) {
+			return true, "secret printed to system log"
+		}
+		return false, "log contains no secret"
+	case attack.SigInject:
+		loot, _ := k.ReadKernelFile(rk.ExfilPath)
+		if bytes.Contains(loot, []byte(ssh.AgentSecret)) {
+			return true, "secret exfiltrated to file"
+		}
+		return false, fmt.Sprintf("no exfiltration (signals blocked: %d)", k.Stats().SignalsBlocked)
+	}
+	return false, "?"
+}
+
+func vectorRow(name string, run func(*repro.System) (bool, string)) SecurityRow {
+	row := SecurityRow{Attack: name}
+	natOK, natDetail := run(mustSystem(repro.Native))
+	vgOK, vgDetail := run(mustSystem(repro.VirtualGhost))
+	row.NativeResult = verdict(natOK, natDetail)
+	row.VGResult = verdict(vgOK, vgDetail)
+	row.Defended = natOK && !vgOK
+	return row
+}
+
+func runMMURemap(sys *repro.System) (bool, string) {
+	sys2, st := agentVictim(sys.Mode)
+	k := sys2.Kernel
+	victim, ok := k.ProcByPID(st.PID)
+	if !ok {
+		return false, "victim gone"
+	}
+	r := attack.MMURemapAttack(k, victim, hw.Virt(st.SecretAddr), []byte(ssh.AgentSecret))
+	return r.Succeeded, r.Detail
+}
+
+func runDMA(sys *repro.System) (bool, string) {
+	sys2, st := agentVictim(sys.Mode)
+	k := sys2.Kernel
+	victim, ok := k.ProcByPID(st.PID)
+	if !ok {
+		return false, "victim gone"
+	}
+	r := attack.DMAAttack(k, victim, hw.PageOf(hw.Virt(st.SecretAddr)), []byte(ssh.AgentSecret))
+	return r.Succeeded, r.Detail
+}
+
+func runSwapInspect(sys *repro.System) (bool, string) {
+	sys2, st := agentVictim(sys.Mode)
+	k := sys2.Kernel
+	victim, ok := k.ProcByPID(st.PID)
+	if !ok {
+		return false, "victim gone"
+	}
+	page := hw.PageOf(hw.Virt(st.SecretAddr))
+	// The OS swaps the page out directly.
+	blob, err := k.HAL.SwapOutGhost(victim.TID(), page)
+	if err != nil {
+		return false, fmt.Sprintf("swap-out failed: %v", err)
+	}
+	if bytes.Contains(blob, []byte(ssh.AgentSecret)) {
+		return true, "swap blob holds plaintext secret"
+	}
+	return false, fmt.Sprintf("swap blob opaque (%d bytes)", len(blob))
+}
+
+func verdict(ok bool, detail string) string {
+	if ok {
+		return "STOLEN: " + detail
+	}
+	return "safe: " + detail
+}
+
+func mustSystem(mode repro.Mode) *repro.System {
+	s, err := repro.NewSystem(mode)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the disk sector/block size.
+const BlockSize = 4096
+
+// Disk is a simple block device with a seek latency and a transfer
+// bandwidth, modelled on the paper's SSD (files in /usr lived on the
+// SSD). Reads and writes are whole blocks and charge virtual time.
+//
+// The disk is OS-visible in its entirety: the threat model gives the OS
+// full read/write access to persistent storage, which is why ghosting
+// applications must encrypt what they store here.
+type Disk struct {
+	clock  *Clock
+	blocks [][]byte
+	// latencyCycles is charged once per request; perBlockCycles once
+	// per block transferred.
+	latencyCycles  uint64
+	perBlockCycles uint64
+	reads          uint64
+	writes         uint64
+	// failNext makes the next N requests fail with ErrDiskIO
+	// (failure injection for robustness tests).
+	failNext int
+}
+
+// Disk timing at 3.4 GHz: ~24 µs access latency (SSD-class) and ~3 µs
+// per 4 KiB block transferred.
+const (
+	diskLatencyCycles  = 80_000
+	diskPerBlockCycles = 10_000
+)
+
+// NewDisk creates a disk with nblocks blocks.
+func NewDisk(clock *Clock, nblocks int) *Disk {
+	return &Disk{
+		clock:          clock,
+		blocks:         make([][]byte, nblocks),
+		latencyCycles:  diskLatencyCycles,
+		perBlockCycles: diskPerBlockCycles,
+	}
+}
+
+// NumBlocks returns the disk capacity in blocks.
+func (d *Disk) NumBlocks() int { return len(d.blocks) }
+
+// ErrDiskIO is an injected or surfaced media error.
+var ErrDiskIO = errors.New("hw: disk I/O error")
+
+// InjectFailures makes the next n requests fail (media-error
+// injection).
+func (d *Disk) InjectFailures(n int) { d.failNext = n }
+
+// takeFailure consumes one injected failure if armed.
+func (d *Disk) takeFailure() bool {
+	if d.failNext > 0 {
+		d.failNext--
+		return true
+	}
+	return false
+}
+
+// Stats returns cumulative read/write request counts.
+func (d *Disk) Stats() (reads, writes uint64) { return d.reads, d.writes }
+
+func (d *Disk) check(blk int) error {
+	if blk < 0 || blk >= len(d.blocks) {
+		return fmt.Errorf("hw: disk block %d out of range (%d blocks)", blk, len(d.blocks))
+	}
+	return nil
+}
+
+// ReadBlock returns the contents of a block (zeros if never written).
+func (d *Disk) ReadBlock(blk int) ([]byte, error) {
+	if err := d.check(blk); err != nil {
+		return nil, err
+	}
+	if d.takeFailure() {
+		return nil, ErrDiskIO
+	}
+	d.clock.Advance(d.latencyCycles + d.perBlockCycles)
+	d.reads++
+	out := make([]byte, BlockSize)
+	if d.blocks[blk] != nil {
+		copy(out, d.blocks[blk])
+	}
+	return out, nil
+}
+
+// WriteBlock stores a block (short writes are zero-padded).
+func (d *Disk) WriteBlock(blk int, b []byte) error {
+	if err := d.check(blk); err != nil {
+		return err
+	}
+	if len(b) > BlockSize {
+		return fmt.Errorf("hw: write of %d bytes exceeds block size", len(b))
+	}
+	if d.takeFailure() {
+		return ErrDiskIO
+	}
+	d.clock.Advance(d.latencyCycles + d.perBlockCycles)
+	d.writes++
+	buf := make([]byte, BlockSize)
+	copy(buf, b)
+	d.blocks[blk] = buf
+	return nil
+}
+
+// PeekBlock reads a block without charging time (used by the hostile-OS
+// attack vectors that tamper with on-disk data, and by tests).
+func (d *Disk) PeekBlock(blk int) []byte {
+	if blk < 0 || blk >= len(d.blocks) || d.blocks[blk] == nil {
+		return make([]byte, BlockSize)
+	}
+	out := make([]byte, BlockSize)
+	copy(out, d.blocks[blk])
+	return out
+}
+
+// PokeBlock overwrites a block without charging time (hostile tampering).
+func (d *Disk) PokeBlock(blk int, b []byte) {
+	if blk < 0 || blk >= len(d.blocks) {
+		return
+	}
+	buf := make([]byte, BlockSize)
+	copy(buf, b)
+	d.blocks[blk] = buf
+}

@@ -1,0 +1,116 @@
+package hw
+
+import "fmt"
+
+// IOMMU gates device (DMA) access to physical memory: a device may only
+// read or write frames that appear in the IOMMU's table. The table is
+// configured through I/O ports, so whoever controls port I/O controls
+// DMA reach. On the Native configuration the kernel programs it freely;
+// under Virtual Ghost the SVA VM's checked port-I/O instructions refuse
+// to expose ghost or SVA frames (paper §4.3.3).
+type IOMMU struct {
+	allowed map[Frame]bool
+	// commandLatch assembles the two-word program command written via
+	// ports: first the frame number, then the enable/disable opcode.
+	latchFrame Frame
+}
+
+// IOMMU port-interface opcodes (written to IOMMUPortCmd).
+const (
+	IOMMUCmdAllow  = 1
+	IOMMUCmdRevoke = 2
+)
+
+// Port numbers of the IOMMU's configuration interface.
+const (
+	IOMMUPortFrame uint16 = 0x1000
+	IOMMUPortCmd   uint16 = 0x1001
+)
+
+// NewIOMMU creates an IOMMU with an empty (deny-all) table.
+func NewIOMMU() *IOMMU { return &IOMMU{allowed: make(map[Frame]bool)} }
+
+// Allow adds a frame to the DMA-visible set.
+func (i *IOMMU) Allow(f Frame) { i.allowed[f] = true }
+
+// Revoke removes a frame from the DMA-visible set.
+func (i *IOMMU) Revoke(f Frame) { delete(i.allowed, f) }
+
+// Allowed reports whether a frame is DMA-visible.
+func (i *IOMMU) Allowed(f Frame) bool { return i.allowed[f] }
+
+// PortIn implements PortHandler: reads report whether the latched frame
+// is currently allowed.
+func (i *IOMMU) PortIn(port uint16) uint64 {
+	if port == IOMMUPortFrame {
+		return uint64(i.latchFrame)
+	}
+	if i.allowed[i.latchFrame] {
+		return 1
+	}
+	return 0
+}
+
+// PortOut implements PortHandler: programs the table.
+func (i *IOMMU) PortOut(port uint16, val uint64) {
+	switch port {
+	case IOMMUPortFrame:
+		i.latchFrame = Frame(val)
+	case IOMMUPortCmd:
+		switch val {
+		case IOMMUCmdAllow:
+			i.Allow(i.latchFrame)
+		case IOMMUCmdRevoke:
+			i.Revoke(i.latchFrame)
+		}
+	}
+}
+
+// DMAEngine copies between devices and physical memory subject to the
+// IOMMU. The rootkit's DMA attack vector drives this directly.
+type DMAEngine struct {
+	mem   *Memory
+	iommu *IOMMU
+	clock *Clock
+}
+
+// NewDMAEngine builds the engine.
+func NewDMAEngine(mem *Memory, iommu *IOMMU, clock *Clock) *DMAEngine {
+	return &DMAEngine{mem: mem, iommu: iommu, clock: clock}
+}
+
+// ErrIOMMU is returned when the IOMMU blocks a transfer.
+type ErrIOMMU struct{ F Frame }
+
+func (e *ErrIOMMU) Error() string {
+	return fmt.Sprintf("hw: IOMMU blocked DMA to frame %d (%v)", e.F, e.F.Addr())
+}
+
+// CopyFromFrame DMAs a frame's contents out to a device buffer.
+func (d *DMAEngine) CopyFromFrame(f Frame) ([]byte, error) {
+	if !d.iommu.Allowed(f) {
+		return nil, &ErrIOMMU{F: f}
+	}
+	d.clock.Advance(CostPageZero) // a page-sized transfer
+	b, err := d.mem.FrameBytes(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, PageSize)
+	copy(out, b)
+	return out, nil
+}
+
+// CopyToFrame DMAs a device buffer into a frame.
+func (d *DMAEngine) CopyToFrame(f Frame, b []byte) error {
+	if !d.iommu.Allowed(f) {
+		return &ErrIOMMU{F: f}
+	}
+	d.clock.Advance(CostPageZero)
+	dst, err := d.mem.FrameBytes(f)
+	if err != nil {
+		return err
+	}
+	copy(dst, b)
+	return nil
+}

@@ -1,0 +1,74 @@
+package hw
+
+// MachineConfig sizes a simulated machine.
+type MachineConfig struct {
+	// MemFrames is the number of physical frames (default 16384 = 64 MiB).
+	MemFrames int
+	// DiskBlocks is the disk capacity in 4 KiB blocks (default 32768 = 128 MiB).
+	DiskBlocks int
+	// Seed seeds the hardware RNG (and hence the TPM key).
+	Seed uint64
+}
+
+// DefaultConfig returns the standard experiment machine.
+func DefaultConfig() MachineConfig {
+	return MachineConfig{MemFrames: 16384, DiskBlocks: 32768, Seed: 0x5eed}
+}
+
+// Machine bundles one complete simulated computer. Experiments build two
+// of these (server + client) and connect their NICs.
+type Machine struct {
+	Clock   *Clock
+	Mem     *Memory
+	MMU     *MMU
+	CPU     *CPU
+	Ports   *PortBus
+	IOMMU   *IOMMU
+	DMA     *DMAEngine
+	Disk    *Disk
+	NIC     *NIC
+	Console *Console
+	RNG     *RNG
+	TPM     *TPM
+	Timer   *Timer
+}
+
+// NewMachine assembles a machine from the configuration.
+func NewMachine(cfg MachineConfig) *Machine {
+	return NewMachineWith(cfg, &Clock{})
+}
+
+// NewMachineWith assembles a machine ticking an existing clock, so that
+// several machines (e.g. the server and client of a network experiment)
+// share one global timeline.
+func NewMachineWith(cfg MachineConfig, clock *Clock) *Machine {
+	if cfg.MemFrames == 0 {
+		cfg.MemFrames = 16384
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 32768
+	}
+	mem := NewMemory(cfg.MemFrames, clock)
+	mmu := NewMMU(mem, clock)
+	cpu := NewCPU(mmu, clock)
+	ports := NewPortBus()
+	iommu := NewIOMMU()
+	ports.Register(IOMMUPortFrame, 2, iommu)
+	rng := NewRNG(cfg.Seed)
+	m := &Machine{
+		Clock:   clock,
+		Mem:     mem,
+		MMU:     mmu,
+		CPU:     cpu,
+		Ports:   ports,
+		IOMMU:   iommu,
+		DMA:     NewDMAEngine(mem, iommu, clock),
+		Disk:    NewDisk(clock, cfg.DiskBlocks),
+		NIC:     NewNIC(clock),
+		Console: &Console{},
+		RNG:     rng,
+		TPM:     NewTPM(rng),
+		Timer:   NewTimer(clock, 10_000_000), // ~3 ms quantum
+	}
+	return m
+}

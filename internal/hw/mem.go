@@ -1,0 +1,302 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a physical frame and of a virtual page.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Phys is a physical address.
+type Phys uint64
+
+// Virt is a virtual address.
+type Virt uint64
+
+// Frame is a physical frame number (Phys >> PageShift).
+type Frame uint64
+
+// Addr returns the physical address of the first byte of the frame.
+func (f Frame) Addr() Phys { return Phys(f) << PageShift }
+
+// FrameOf returns the frame containing the physical address.
+func FrameOf(p Phys) Frame { return Frame(p >> PageShift) }
+
+// PageOf returns the page-aligned base of a virtual address.
+func PageOf(v Virt) Virt { return v &^ (PageSize - 1) }
+
+// FrameType records what a physical frame is currently used for. The
+// SVA VM's MMU checks are predicated on these types: for example, a
+// FrameGhost frame may never appear in a kernel- or user-visible
+// mapping, and a FrameCode frame may never be mapped writable.
+type FrameType uint8
+
+const (
+	// FrameFree is an unallocated frame.
+	FrameFree FrameType = iota
+	// FrameKernelData holds ordinary kernel data.
+	FrameKernelData
+	// FrameUserData holds traditional (OS-accessible) user memory.
+	FrameUserData
+	// FrameGhost holds ghost memory; only the SVA VM may map it.
+	FrameGhost
+	// FrameSVA holds SVA VM internal memory.
+	FrameSVA
+	// FrameCode holds translated native code (kernel or application).
+	FrameCode
+	// FramePageTable holds a declared page-table page; the OS may only
+	// modify it through the SVA-OS MMU update operations.
+	FramePageTable
+	// FrameIO is a memory-mapped I/O frame (e.g. the IOMMU's control
+	// registers); mappable only into SVA VM space.
+	FrameIO
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameFree:
+		return "free"
+	case FrameKernelData:
+		return "kernel"
+	case FrameUserData:
+		return "user"
+	case FrameGhost:
+		return "ghost"
+	case FrameSVA:
+		return "sva"
+	case FrameCode:
+		return "code"
+	case FramePageTable:
+		return "pagetable"
+	case FrameIO:
+		return "io"
+	}
+	return fmt.Sprintf("FrameType(%d)", uint8(t))
+}
+
+// ErrOutOfMemory is returned when no free frame is available.
+var ErrOutOfMemory = errors.New("hw: out of physical memory")
+
+// ErrBadPhys is returned for accesses outside physical memory.
+var ErrBadPhys = errors.New("hw: physical address out of range")
+
+// Memory is the machine's physical memory: a flat byte array divided
+// into frames, plus per-frame metadata. Frame metadata is the ground
+// truth that the SVA VM's run-time checks consult.
+type Memory struct {
+	bytes    []byte
+	ftype    []FrameType
+	refs     []uint16 // mapping reference counts, maintained by the MMU layer
+	free     []Frame  // free list (LIFO)
+	nframes  int
+	clock    *Clock
+	ioFrames map[Frame]MMIOHandler
+}
+
+// MMIOHandler receives loads and stores to a memory-mapped I/O frame.
+type MMIOHandler interface {
+	MMIORead(off uint32, size int) uint64
+	MMIOWrite(off uint32, size int, val uint64)
+}
+
+// NewMemory creates physical memory with the given number of frames.
+func NewMemory(nframes int, clock *Clock) *Memory {
+	m := &Memory{
+		bytes:    make([]byte, nframes*PageSize),
+		ftype:    make([]FrameType, nframes),
+		refs:     make([]uint16, nframes),
+		nframes:  nframes,
+		clock:    clock,
+		ioFrames: make(map[Frame]MMIOHandler),
+	}
+	// Push frames so that low frame numbers come off the list first;
+	// frame 0 is reserved (never allocated) to keep Phys 0 invalid.
+	for f := nframes - 1; f >= 1; f-- {
+		m.free = append(m.free, Frame(f))
+	}
+	return m
+}
+
+// NumFrames returns the number of physical frames.
+func (m *Memory) NumFrames() int { return m.nframes }
+
+// FreeFrames returns how many frames are currently free.
+func (m *Memory) FreeFrames() int { return len(m.free) }
+
+// AllocFrame takes a free frame and tags it with the given type.
+func (m *Memory) AllocFrame(t FrameType) (Frame, error) {
+	if len(m.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.ftype[f] = t
+	m.refs[f] = 0
+	return f, nil
+}
+
+// FreeFrame returns a frame to the free list. The frame must have no
+// remaining mapping references.
+func (m *Memory) FreeFrame(f Frame) error {
+	if err := m.checkFrame(f); err != nil {
+		return err
+	}
+	if m.ftype[f] == FrameFree {
+		return fmt.Errorf("hw: double free of frame %d", f)
+	}
+	if m.refs[f] != 0 {
+		return fmt.Errorf("hw: freeing frame %d with %d live mappings", f, m.refs[f])
+	}
+	m.ftype[f] = FrameFree
+	m.free = append(m.free, f)
+	return nil
+}
+
+// TypeOf returns the current type of a frame.
+func (m *Memory) TypeOf(f Frame) FrameType {
+	if f >= Frame(m.nframes) {
+		return FrameFree
+	}
+	return m.ftype[f]
+}
+
+// SetType retags a frame. Retagging is how the SVA VM converts an OS-
+// provided frame into a ghost or page-table frame after validating it.
+func (m *Memory) SetType(f Frame, t FrameType) error {
+	if err := m.checkFrame(f); err != nil {
+		return err
+	}
+	m.ftype[f] = t
+	return nil
+}
+
+// Refs returns the mapping reference count of a frame.
+func (m *Memory) Refs(f Frame) int { return int(m.refs[f]) }
+
+// AddRef / DropRef maintain the mapping reference count. They are called
+// by the MMU layer when page-table entries naming the frame are created
+// or destroyed.
+func (m *Memory) AddRef(f Frame) { m.refs[f]++ }
+
+// DropRef decrements the mapping reference count.
+func (m *Memory) DropRef(f Frame) {
+	if m.refs[f] == 0 {
+		panic(fmt.Sprintf("hw: ref underflow on frame %d", f))
+	}
+	m.refs[f]--
+}
+
+// RegisterMMIO attaches a handler to a frame so that physical accesses
+// to it are routed to a device instead of RAM.
+func (m *Memory) RegisterMMIO(f Frame, h MMIOHandler) error {
+	if err := m.checkFrame(f); err != nil {
+		return err
+	}
+	m.ftype[f] = FrameIO
+	m.ioFrames[f] = h
+	return nil
+}
+
+func (m *Memory) checkFrame(f Frame) error {
+	if f == 0 || f >= Frame(m.nframes) {
+		return fmt.Errorf("%w: frame %d", ErrBadPhys, f)
+	}
+	return nil
+}
+
+func (m *Memory) checkRange(p Phys, n int) error {
+	if n < 0 || uint64(p)+uint64(n) > uint64(m.nframes)*PageSize || p < PageSize {
+		return fmt.Errorf("%w: [%#x,+%d)", ErrBadPhys, uint64(p), n)
+	}
+	return nil
+}
+
+// ReadPhys copies n bytes at physical address p into a fresh slice.
+// MMIO frames are routed to their device handler (size 1/2/4/8 only).
+func (m *Memory) ReadPhys(p Phys, n int) ([]byte, error) {
+	if err := m.checkRange(p, n); err != nil {
+		return nil, err
+	}
+	if h, ok := m.ioFrames[FrameOf(p)]; ok {
+		v := h.MMIORead(uint32(p&(PageSize-1)), n)
+		buf := make([]byte, n)
+		putLE(buf, v)
+		return buf, nil
+	}
+	out := make([]byte, n)
+	copy(out, m.bytes[p:int(p)+n])
+	return out, nil
+}
+
+// WritePhys stores b at physical address p.
+func (m *Memory) WritePhys(p Phys, b []byte) error {
+	if err := m.checkRange(p, len(b)); err != nil {
+		return err
+	}
+	if h, ok := m.ioFrames[FrameOf(p)]; ok {
+		h.MMIOWrite(uint32(p&(PageSize-1)), len(b), getLE(b))
+		return nil
+	}
+	copy(m.bytes[p:], b)
+	return nil
+}
+
+// Read64 loads a little-endian uint64 at p.
+func (m *Memory) Read64(p Phys) (uint64, error) {
+	b, err := m.ReadPhys(p, 8)
+	if err != nil {
+		return 0, err
+	}
+	return getLE(b), nil
+}
+
+// Write64 stores a little-endian uint64 at p.
+func (m *Memory) Write64(p Phys, v uint64) error {
+	var b [8]byte
+	putLE(b[:], v)
+	return m.WritePhys(p, b[:])
+}
+
+// ZeroFrame clears a frame's contents and charges the zeroing cost.
+func (m *Memory) ZeroFrame(f Frame) error {
+	if err := m.checkFrame(f); err != nil {
+		return err
+	}
+	base := f.Addr()
+	for i := Phys(0); i < PageSize; i++ {
+		m.bytes[base+i] = 0
+	}
+	if m.clock != nil {
+		m.clock.Advance(CostPageZero)
+	}
+	return nil
+}
+
+// FrameBytes exposes the raw contents of a frame. It is used by the
+// devices (disk DMA, swap) and by tests; guest code never touches it.
+func (m *Memory) FrameBytes(f Frame) ([]byte, error) {
+	if err := m.checkFrame(f); err != nil {
+		return nil, err
+	}
+	base := int(f.Addr())
+	return m.bytes[base : base+PageSize], nil
+}
+
+func getLE(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putLE(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

@@ -1,0 +1,120 @@
+package hw
+
+// NIC models a gigabit Ethernet interface as a pair of packet queues
+// with a per-packet latency and a serialization (bandwidth) cost. The
+// network experiments (thttpd, ssh transfers) move their bytes through
+// here, so large transfers become NIC-bound — reproducing the paper's
+// "negligible reduction for large files" shape.
+//
+// Like the disk, the wire is untrusted: the peer helper methods expose
+// everything in flight, which is why ghosting applications encrypt
+// network payloads.
+type NIC struct {
+	clock *Clock
+	// rx holds packets delivered to this NIC and not yet read.
+	rx []Packet
+	// peer, when set, receives transmitted packets (simple two-node
+	// link, matching the paper's dedicated GigE network).
+	peer *NIC
+
+	latencyCycles  uint64
+	perByteCycles  float64
+	bytesSent      uint64
+	bytesReceived  uint64
+	packetsDropped uint64
+	queueLimit     int
+}
+
+// Packet is one frame on the wire.
+type Packet struct {
+	Port    uint16 // demultiplexing key (like a UDP/TCP port)
+	Payload []byte
+}
+
+// MTU is the largest payload a single packet may carry.
+const MTU = 1500
+
+// NIC timing at 3.4 GHz: ~50 µs per-packet latency (interrupt +
+// protocol cost) and 1 Gbit/s serialization = 8 ns/byte ≈ 27.2
+// cycles/byte.
+const (
+	nicLatencyCycles = 8_000
+	nicPerByteCycles = 27.2
+)
+
+// NewNIC creates an unconnected NIC.
+func NewNIC(clock *Clock) *NIC {
+	return &NIC{
+		clock:         clock,
+		latencyCycles: nicLatencyCycles,
+		perByteCycles: nicPerByteCycles,
+		queueLimit:    4096,
+	}
+}
+
+// Connect links two NICs as the two ends of a dedicated cable.
+func Connect(a, b *NIC) {
+	a.peer = b
+	b.peer = a
+}
+
+// Send transmits a packet to the peer, charging latency + serialization
+// time. Oversized payloads are rejected by the caller (the kernel's
+// network stack segments to MTU).
+func (n *NIC) Send(p Packet) {
+	n.clock.Advance(n.latencyCycles + uint64(float64(len(p.Payload))*n.perByteCycles))
+	n.bytesSent += uint64(len(p.Payload))
+	if n.peer == nil {
+		n.packetsDropped++
+		return
+	}
+	n.peer.deliver(p)
+}
+
+func (n *NIC) deliver(p Packet) {
+	if len(n.rx) >= n.queueLimit {
+		n.packetsDropped++
+		return
+	}
+	n.bytesReceived += uint64(len(p.Payload))
+	cp := Packet{Port: p.Port, Payload: append([]byte(nil), p.Payload...)}
+	n.rx = append(n.rx, cp)
+}
+
+// Receive dequeues the next packet destined for port, searching the rx
+// queue in order. It reports ok=false if none is queued.
+func (n *NIC) Receive(port uint16) (Packet, bool) {
+	for i, p := range n.rx {
+		if p.Port == port {
+			n.rx = append(n.rx[:i], n.rx[i+1:]...)
+			return p, true
+		}
+	}
+	return Packet{}, false
+}
+
+// Pending reports how many packets are queued for port.
+func (n *NIC) Pending(port uint16) int {
+	c := 0
+	for _, p := range n.rx {
+		if p.Port == port {
+			c++
+		}
+	}
+	return c
+}
+
+// Stats returns cumulative byte counters.
+func (n *NIC) Stats() (sent, received, dropped uint64) {
+	return n.bytesSent, n.bytesReceived, n.packetsDropped
+}
+
+// Snoop returns copies of every queued packet without dequeuing them —
+// the untrusted-wire primitive used by eavesdropping tests.
+func (n *NIC) Snoop() []Packet {
+	out := make([]Packet, len(n.rx))
+	for i, p := range n.rx {
+		out[i] = Packet{Port: p.Port, Payload: append([]byte(nil), p.Payload...)}
+	}
+	return out
+}

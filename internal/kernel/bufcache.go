@@ -1,0 +1,213 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// BufCache is the buffer cache between the file system and the disk:
+// fixed capacity, LRU eviction, write-back of dirty blocks (buffered
+// I/O, the configuration Postmark ran with in the paper).
+type BufCache struct {
+	k    *Kernel
+	disk *hw.Disk
+	cap  int
+
+	blocks map[int]*buf
+	// lru is a doubly-linked list, most-recently-used at head.
+	head, tail *buf
+
+	hits, misses, writebacks uint64
+}
+
+type buf struct {
+	blk        int
+	data       []byte
+	dirty      bool
+	prev, next *buf
+}
+
+// NewBufCache creates a cache of capBlocks blocks.
+func NewBufCache(k *Kernel, disk *hw.Disk, capBlocks int) *BufCache {
+	return &BufCache{
+		k:      k,
+		disk:   disk,
+		cap:    capBlocks,
+		blocks: make(map[int]*buf),
+	}
+}
+
+// Stats returns hit/miss/writeback counters.
+func (c *BufCache) Stats() (hits, misses, writebacks uint64) {
+	return c.hits, c.misses, c.writebacks
+}
+
+func (c *BufCache) touch(b *buf) {
+	if c.head == b {
+		return
+	}
+	// unlink
+	if b.prev != nil {
+		b.prev.next = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+	if c.tail == b {
+		c.tail = b.prev
+	}
+	// push front
+	b.prev = nil
+	b.next = c.head
+	if c.head != nil {
+		c.head.prev = b
+	}
+	c.head = b
+	if c.tail == nil {
+		c.tail = b
+	}
+}
+
+func (c *BufCache) evictIfFull() error {
+	for len(c.blocks) >= c.cap {
+		victim := c.tail
+		if victim == nil {
+			return fmt.Errorf("kernel: buffer cache corrupt (full but no tail)")
+		}
+		if victim.dirty {
+			c.writebacks++
+			if err := c.disk.WriteBlock(victim.blk, victim.data); err != nil {
+				return err
+			}
+		}
+		if victim.prev != nil {
+			victim.prev.next = nil
+		}
+		c.tail = victim.prev
+		if c.head == victim {
+			c.head = nil
+		}
+		delete(c.blocks, victim.blk)
+	}
+	return nil
+}
+
+// get returns the cached buffer for blk, reading it from disk on a
+// miss.
+func (c *BufCache) get(blk int) (*buf, error) {
+	if b, ok := c.blocks[blk]; ok {
+		c.hits++
+		c.k.HAL.KAccess(workBufCacheHit)
+		c.touch(b)
+		return b, nil
+	}
+	c.misses++
+	c.k.HAL.KAccess(workBufCacheMiss)
+	if err := c.evictIfFull(); err != nil {
+		return nil, err
+	}
+	data, err := c.disk.ReadBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	b := &buf{blk: blk, data: data}
+	c.blocks[blk] = b
+	c.touch(b)
+	return b, nil
+}
+
+// Read returns (a copy of) the block's contents.
+func (c *BufCache) Read(blk int) ([]byte, error) {
+	b, err := c.get(blk)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, hw.BlockSize)
+	copy(out, b.data)
+	return out, nil
+}
+
+// ReadPartial copies block bytes [off, off+n) into dst.
+func (c *BufCache) ReadPartial(blk int, off, n int, dst []byte) error {
+	b, err := c.get(blk)
+	if err != nil {
+		return err
+	}
+	copy(dst, b.data[off:off+n])
+	return nil
+}
+
+// Write replaces the block's contents (write-back).
+func (c *BufCache) Write(blk int, data []byte) error {
+	b, err := c.get(blk)
+	if err != nil {
+		return err
+	}
+	copy(b.data, data)
+	for i := len(data); i < hw.BlockSize; i++ {
+		b.data[i] = 0
+	}
+	b.dirty = true
+	return nil
+}
+
+// WritePartial updates bytes [off, off+len(src)) of the block.
+func (c *BufCache) WritePartial(blk int, off int, src []byte) error {
+	b, err := c.get(blk)
+	if err != nil {
+		return err
+	}
+	copy(b.data[off:], src)
+	b.dirty = true
+	return nil
+}
+
+// Zero clears a block in cache (fresh allocation; avoids a disk read
+// for blocks whose old contents are dead).
+func (c *BufCache) Zero(blk int) error {
+	if b, ok := c.blocks[blk]; ok {
+		c.hits++
+		for i := range b.data {
+			b.data[i] = 0
+		}
+		b.dirty = true
+		c.touch(b)
+		return nil
+	}
+	c.misses++
+	c.k.HAL.KAccess(workBufCacheMiss)
+	if err := c.evictIfFull(); err != nil {
+		return err
+	}
+	b := &buf{blk: blk, data: make([]byte, hw.BlockSize), dirty: true}
+	c.blocks[blk] = b
+	c.touch(b)
+	return nil
+}
+
+// Sync flushes every dirty block to disk.
+func (c *BufCache) Sync() error {
+	for _, b := range c.blocks {
+		if b.dirty {
+			c.writebacks++
+			if err := c.disk.WriteBlock(b.blk, b.data); err != nil {
+				return err
+			}
+			b.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropClean evicts every clean block from the cache (the experiment
+// harness's equivalent of unmounting or dropping caches so reads hit
+// the disk again). Dirty blocks are written back first.
+func (c *BufCache) DropClean() error {
+	if err := c.Sync(); err != nil {
+		return err
+	}
+	c.blocks = make(map[int]*buf)
+	c.head, c.tail = nil, nil
+	return nil
+}

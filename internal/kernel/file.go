@@ -1,0 +1,135 @@
+package kernel
+
+import "fmt"
+
+// FileOps is the vnode-style interface every file-like object
+// implements: regular files, pipes, sockets, and devices.
+type FileOps interface {
+	// ReadAt reads up to len(b) bytes at offset off (offset ignored by
+	// non-seekable objects). It returns 0, nil at end of file and
+	// blocks (via p) when no data is available on a blocking object.
+	ReadAt(p *Proc, b []byte, off int64) (int, error)
+	// WriteAt writes b at off.
+	WriteAt(p *Proc, b []byte, off int64) (int, error)
+	// Size returns the current size, if meaningful.
+	Size() int64
+	// Ready reports whether a read would not block (select support).
+	Ready() bool
+	// Close drops one reference.
+	Close(k *Kernel) error
+}
+
+// FileDesc is one open-file-table entry; dup'd descriptors share it.
+type FileDesc struct {
+	Ops      FileOps
+	Off      int64
+	Refs     int
+	Seekable bool
+}
+
+// allocFD installs ops in the lowest free descriptor slot. The second
+// result is a plain errno code (0 = success); syscall handlers negate
+// it exactly once via errno().
+func (p *Proc) allocFD(ops FileOps, seekable bool) (int, uint64) {
+	for i := 0; i < maxFDs; i++ {
+		if p.fds[i] == nil {
+			p.fds[i] = &FileDesc{Ops: ops, Refs: 1, Seekable: seekable}
+			return i, 0
+		}
+	}
+	return -1, EMFILE
+}
+
+// fd fetches a descriptor; the errno result follows allocFD's
+// convention.
+func (p *Proc) fd(n int) (*FileDesc, uint64) {
+	if n < 0 || n >= maxFDs || p.fds[n] == nil {
+		return nil, EBADF
+	}
+	return p.fds[n], 0
+}
+
+// closeFD drops a descriptor.
+func (p *Proc) closeFD(k *Kernel, n int) uint64 {
+	d, e := p.fd(n)
+	if e != 0 {
+		return e
+	}
+	p.fds[n] = nil
+	d.Refs--
+	if d.Refs == 0 {
+		if err := d.Ops.Close(k); err != nil {
+			return EFAULT
+		}
+	}
+	return 0
+}
+
+// closeAllFDs releases every descriptor at exit.
+func (p *Proc) closeAllFDs(k *Kernel) {
+	for i := 0; i < maxFDs; i++ {
+		if p.fds[i] != nil {
+			_ = p.closeFD(k, i)
+		}
+	}
+}
+
+// --- devices -------------------------------------------------------------
+
+// consoleFile is /dev/console: writes append to the machine console.
+type consoleFile struct{ k *Kernel }
+
+func (c *consoleFile) ReadAt(p *Proc, b []byte, off int64) (int, error) { return 0, nil }
+func (c *consoleFile) WriteAt(p *Proc, b []byte, off int64) (int, error) {
+	c.k.Console().Printf("%s", string(b))
+	return len(b), nil
+}
+func (c *consoleFile) Size() int64           { return 0 }
+func (c *consoleFile) Ready() bool           { return false }
+func (c *consoleFile) Close(k *Kernel) error { return nil }
+
+// nullFile is /dev/null.
+type nullFile struct{}
+
+func (nullFile) ReadAt(p *Proc, b []byte, off int64) (int, error)  { return 0, nil }
+func (nullFile) WriteAt(p *Proc, b []byte, off int64) (int, error) { return len(b), nil }
+func (nullFile) Size() int64                                       { return 0 }
+func (nullFile) Ready() bool                                       { return false }
+func (nullFile) Close(k *Kernel) error                             { return nil }
+
+// randomFile is /dev/random: OS-provided randomness, which a hostile
+// kernel can bias (the Iago attack vector); ghosting applications use
+// the VM's trusted instruction instead.
+type randomFile struct{ k *Kernel }
+
+func (r *randomFile) ReadAt(p *Proc, b []byte, off int64) (int, error) {
+	for i := range b {
+		var v uint64
+		if r.k.devRandomHook != nil {
+			v = r.k.devRandomHook()
+		} else {
+			v = r.k.M.RNG.Next()
+		}
+		b[i] = byte(v)
+	}
+	return len(b), nil
+}
+func (r *randomFile) WriteAt(p *Proc, b []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("read-only")
+}
+func (r *randomFile) Size() int64           { return 0 }
+func (r *randomFile) Ready() bool           { return true }
+func (r *randomFile) Close(k *Kernel) error { return nil }
+
+// openDevice resolves the /dev namespace.
+func (k *Kernel) openDevice(name string) FileOps {
+	switch name {
+	case "/dev/console":
+		return &consoleFile{k: k}
+	case "/dev/null":
+		return nullFile{}
+	case "/dev/random", "/dev/urandom":
+		return &randomFile{k: k}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/vir"
+)
+
+// coreModuleSource is a slice of the kernel expressed directly in the
+// virtual instruction set — the reproduction's stand-in for "all
+// operating system software ... is compiled to the virtual instruction
+// set implemented by SVA" (paper §4.2). These routines are translated
+// at boot through the same pipeline as loadable modules, so under
+// Virtual Ghost even the kernel's own utility code carries the
+// sandboxing and CFI instrumentation.
+//
+// The routines operate on kernel virtual addresses (the direct-map
+// scratch under Virtual Ghost):
+//
+//	kmemset(dst, byte, n)  — fill
+//	kmemcmp(a, b, n)       — compare, returns 0 when equal
+//	kstrlen(s)             — NUL-terminated length
+//	kchecksum(p, n)        — additive checksum (buffer-cache style)
+var coreModuleSource = `module kernelcore
+func kmemset(3 params) {
+entry:
+  %r3 = mov 0x0
+  br loop
+loop:
+  %r4 = cmplt %r3, %r2
+  condbr %r4, body, done
+body:
+  %r5 = add %r0, %r3
+  store1 [%r5], %r1
+  %r6 = add %r3, 0x1
+  %r3 = mov %r6
+  br loop
+done:
+  ret %r0
+}
+func kmemcmp(3 params) {
+entry:
+  %r3 = mov 0x0
+  br loop
+loop:
+  %r4 = cmplt %r3, %r2
+  condbr %r4, body, equal
+body:
+  %r5 = add %r0, %r3
+  %r6 = add %r1, %r3
+  %r7 = load1 [%r5]
+  %r8 = load1 [%r6]
+  %r9 = cmpne %r7, %r8
+  condbr %r9, differ, next
+next:
+  %r10 = add %r3, 0x1
+  %r3 = mov %r10
+  br loop
+differ:
+  ret 0x1
+equal:
+  ret 0x0
+}
+func kstrlen(1 params) {
+entry:
+  %r1 = mov 0x0
+  br loop
+loop:
+  %r2 = add %r0, %r1
+  %r3 = load1 [%r2]
+  %r4 = cmpeq %r3, 0x0
+  condbr %r4, done, next
+next:
+  %r5 = add %r1, 0x1
+  %r1 = mov %r5
+  br loop
+done:
+  ret %r1
+}
+func kchecksum(2 params) {
+entry:
+  %r2 = mov 0x0
+  %r3 = mov 0x0
+  br loop
+loop:
+  %r4 = cmplt %r2, %r1
+  condbr %r4, body, done
+body:
+  %r5 = add %r0, %r2
+  %r6 = load1 [%r5]
+  %r7 = add %r3, %r6
+  %r8 = mul %r7, 0x101
+  %r9 = and %r8, 0xffffffff
+  %r3 = mov %r9
+  %r10 = add %r2, 0x1
+  %r2 = mov %r10
+  br loop
+done:
+  ret %r3
+}
+`
+
+// loadCoreModule parses and translates the kernel's IR routines at
+// boot. Failure is fatal: a kernel whose own code the translator
+// refuses cannot run.
+func (k *Kernel) loadCoreModule() error {
+	m, err := vir.ParseModule(coreModuleSource)
+	if err != nil {
+		return fmt.Errorf("kernel: core module source: %w", err)
+	}
+	mod, err := k.LoadModule(m)
+	if err != nil {
+		return fmt.Errorf("kernel: core module translation: %w", err)
+	}
+	k.coreMod = mod
+	return nil
+}
+
+// CoreModule returns the kernel's translated IR routines.
+func (k *Kernel) CoreModule() *Module { return k.coreMod }
+
+// KMemset runs the kernel's IR memset over kernel scratch memory.
+func (k *Kernel) KMemset(dst uint64, b byte, n int) error {
+	_, err := k.RunModuleFunc(k.coreMod, "kmemset", dst, uint64(b), uint64(n))
+	return err
+}
+
+// KMemcmp runs the kernel's IR memcmp (0 = equal).
+func (k *Kernel) KMemcmp(a, b uint64, n int) (bool, error) {
+	v, err := k.RunModuleFunc(k.coreMod, "kmemcmp", a, b, uint64(n))
+	return v == 0, err
+}
+
+// KChecksum runs the kernel's IR checksum.
+func (k *Kernel) KChecksum(p uint64, n int) (uint32, error) {
+	v, err := k.RunModuleFunc(k.coreMod, "kchecksum", p, uint64(n))
+	return uint32(v), err
+}

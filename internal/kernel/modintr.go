@@ -1,0 +1,46 @@
+package kernel
+
+import "fmt"
+
+// moduleIntrinsics is the set of kernel services linked into loaded
+// modules (the kernel symbols a FreeBSD module would resolve against).
+// Module IR calls these by name.
+func (k *Kernel) moduleIntrinsics(name string, args []uint64) (uint64, error) {
+	switch name {
+	case "klog_acc":
+		// Accumulate 8 little-endian bytes toward a log line.
+		v := args[0]
+		for i := 0; i < 8; i++ {
+			b := byte(v >> (8 * i))
+			if b != 0 {
+				k.modLogBuf = append(k.modLogBuf, b)
+			}
+		}
+		return 0, nil
+	case "klog_flush":
+		// Emit the accumulated bytes to the system log.
+		k.Console().Printf("kernel: %s", string(k.modLogBuf))
+		k.modLogBuf = nil
+		return 0, nil
+	case "cur_pid":
+		if k.cur != nil {
+			return uint64(k.cur.PID), nil
+		}
+		return 0, nil
+	case "panic":
+		return 0, fmt.Errorf("kernel: module panic (%d)", args[0])
+	}
+	if len(name) > 4 && name[:4] == "asm:" {
+		// Inline assembly effects (only reachable on the native
+		// configuration; the Virtual Ghost translator refuses such
+		// modules). Supported gadgets:
+		switch name[4:] {
+		case "read_cr3":
+			return uint64(k.M.MMU.Root()), nil
+		case "cli", "sti", "nop":
+			return 0, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("kernel: unresolved module symbol %q", name)
+}

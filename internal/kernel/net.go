@@ -1,0 +1,386 @@
+package kernel
+
+import (
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// This file is the network stack: a small reliable, in-order,
+// connection-oriented transport ("TCP-lite") over the simulated NIC.
+// The two machines of a network experiment are joined by hw.Connect;
+// loopback is the NIC connected to itself.
+
+// Wire packet types.
+const (
+	pktSYN byte = iota + 1
+	pktSYNACK
+	pktDATA
+	pktFIN
+)
+
+// header: type(1) srcPort(2) dstPort(2).
+const netHdrSize = 5
+
+// maxSegment is the data bytes per packet.
+const maxSegment = hw.MTU - netHdrSize
+
+// Conn is one established connection endpoint.
+type Conn struct {
+	local, remote uint16
+	// remoteIsLocal marks loopback connections (both endpoints on this
+	// host); the point-to-point link model needs only this one routing
+	// bit.
+	remoteIsLocal bool
+	established   bool
+	peerClosed    bool
+	closed        bool
+	rx            []byte
+}
+
+// backlogEntry is one pending SYN on a listener.
+type backlogEntry struct {
+	srcPort uint16
+	local   bool // arrived via loopback
+}
+
+// Listener accepts connections on a port.
+type Listener struct {
+	port    uint16
+	backlog []backlogEntry
+}
+
+// NetStack is one kernel's transport state.
+type NetStack struct {
+	k         *Kernel
+	nic       *hw.NIC
+	listeners map[uint16]*Listener
+	conns     map[uint16]*Conn // keyed by local port
+	nextPort  uint16
+}
+
+// NewNetStack initializes the stack.
+func NewNetStack(k *Kernel) *NetStack {
+	return &NetStack{
+		k:         k,
+		nic:       k.M.NIC,
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[uint16]*Conn),
+		nextPort:  32768,
+	}
+}
+
+func (ns *NetStack) allocPort() uint16 {
+	for {
+		p := ns.nextPort
+		ns.nextPort++
+		if ns.nextPort == 0 {
+			ns.nextPort = 32768
+		}
+		if _, used := ns.conns[p]; used {
+			continue
+		}
+		if _, used := ns.listeners[p]; used {
+			continue
+		}
+		return p
+	}
+}
+
+// send routes one frame: via the loopback interface when the
+// destination endpoint is on this host, via the NIC otherwise.
+func (ns *NetStack) send(typ byte, src, dst uint16, data []byte, toLocal bool) {
+	ns.k.HAL.KAccess(workNetPerPacket)
+	pl := make([]byte, netHdrSize+len(data))
+	pl[0] = typ
+	pl[1], pl[2] = byte(src), byte(src>>8)
+	pl[3], pl[4] = byte(dst), byte(dst>>8)
+	copy(pl[netHdrSize:], data)
+	if toLocal {
+		ns.k.M.Clock.Advance(loopbackCycles)
+		ns.handlePacket(dst, pl, true)
+		return
+	}
+	ns.nic.Send(hw.Packet{Port: dst, Payload: pl})
+}
+
+// loopbackCycles is the lo-interface per-packet cost.
+const loopbackCycles = 2000
+
+// Poll drains the NIC's receive queue into listeners and connections.
+// The scheduler calls it between dispatches, standing in for the
+// receive interrupt path.
+func (ns *NetStack) Poll() {
+	for {
+		got := false
+		// Drain every port we own.
+		for port := range ns.listeners {
+			if ns.pollPort(port) {
+				got = true
+			}
+		}
+		for port := range ns.conns {
+			if ns.pollPort(port) {
+				got = true
+			}
+		}
+		if !got {
+			return
+		}
+	}
+}
+
+func (ns *NetStack) pollPort(port uint16) bool {
+	pkt, ok := ns.nic.Receive(port)
+	if !ok {
+		return false
+	}
+	ns.k.HAL.KAccess(workNetPerPacket)
+	ns.handlePacket(port, pkt.Payload, false)
+	return true
+}
+
+// handlePacket is protocol input processing for one frame addressed to
+// port (from the wire or the loopback path).
+func (ns *NetStack) handlePacket(port uint16, pl []byte, fromLocal bool) {
+	if len(pl) < netHdrSize {
+		return
+	}
+	typ := pl[0]
+	src := uint16(pl[1]) | uint16(pl[2])<<8
+	data := pl[netHdrSize:]
+	switch typ {
+	case pktSYN:
+		if l, ok := ns.listeners[port]; ok {
+			l.backlog = append(l.backlog, backlogEntry{srcPort: src, local: fromLocal})
+		}
+	case pktSYNACK:
+		if c, ok := ns.conns[port]; ok {
+			c.established = true
+			c.remote = src
+		}
+	case pktDATA:
+		if c, ok := ns.conns[port]; ok {
+			c.rx = append(c.rx, data...)
+		}
+	case pktFIN:
+		if c, ok := ns.conns[port]; ok {
+			c.peerClosed = true
+		}
+	}
+}
+
+// Connect dials a port, blocking until established. toPeer selects the
+// machine at the other end of the link; otherwise the destination is a
+// local (loopback) service.
+func (ns *NetStack) Connect(p *Proc, dst uint16, toPeer bool) *Conn {
+	local := ns.allocPort()
+	c := &Conn{local: local, remote: dst, remoteIsLocal: !toPeer}
+	ns.conns[local] = c
+	ns.send(pktSYN, local, dst, nil, !toPeer)
+	p.block(func() bool { ns.Poll(); return c.established })
+	return c
+}
+
+// Accept takes one pending connection off a listener, blocking until
+// one arrives.
+func (ns *NetStack) Accept(p *Proc, l *Listener) *Conn {
+	p.block(func() bool { ns.Poll(); return len(l.backlog) > 0 })
+	e := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	local := ns.allocPort()
+	c := &Conn{local: local, remote: e.srcPort, remoteIsLocal: e.local, established: true}
+	ns.conns[local] = c
+	ns.send(pktSYNACK, local, e.srcPort, nil, e.local)
+	return c
+}
+
+// Send writes data to the connection, segmenting to the MTU.
+func (ns *NetStack) Send(c *Conn, data []byte) int {
+	sent := 0
+	for sent < len(data) {
+		chunk := len(data) - sent
+		if chunk > maxSegment {
+			chunk = maxSegment
+		}
+		ns.send(pktDATA, c.local, c.remote, data[sent:sent+chunk], c.remoteIsLocal)
+		sent += chunk
+	}
+	return sent
+}
+
+// Recv returns buffered data, blocking until some arrives or the peer
+// closes (then 0 = EOF).
+func (ns *NetStack) Recv(p *Proc, c *Conn, max int) []byte {
+	p.block(func() bool { ns.Poll(); return len(c.rx) > 0 || c.peerClosed })
+	if len(c.rx) == 0 {
+		return nil
+	}
+	n := len(c.rx)
+	if n > max {
+		n = max
+	}
+	out := c.rx[:n]
+	c.rx = c.rx[n:]
+	return out
+}
+
+// CloseConn sends FIN and releases the local port.
+func (ns *NetStack) CloseConn(c *Conn) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	ns.send(pktFIN, c.local, c.remote, nil, c.remoteIsLocal)
+	delete(ns.conns, c.local)
+}
+
+// --- socket file objects & syscalls ---------------------------------------
+
+// Socket is the descriptor-level object for the socket syscalls.
+type Socket struct {
+	ns       *NetStack
+	conn     *Conn
+	listener *Listener
+}
+
+func (s *Socket) ReadAt(p *Proc, b []byte, off int64) (int, error) {
+	if s.conn == nil {
+		return 0, ErrNotReadable
+	}
+	data := s.ns.Recv(p, s.conn, len(b))
+	copy(b, data)
+	return len(data), nil
+}
+
+func (s *Socket) WriteAt(p *Proc, b []byte, off int64) (int, error) {
+	if s.conn == nil {
+		return 0, ErrNotWritable
+	}
+	if s.conn.peerClosed {
+		return 0, ErrPipeBroken
+	}
+	return s.ns.Send(s.conn, b), nil
+}
+
+func (s *Socket) Size() int64 { return 0 }
+
+func (s *Socket) Ready() bool {
+	if s.listener != nil {
+		s.ns.Poll()
+		return len(s.listener.backlog) > 0
+	}
+	if s.conn != nil {
+		s.ns.Poll()
+		return len(s.conn.rx) > 0 || s.conn.peerClosed
+	}
+	return false
+}
+
+func (s *Socket) Close(k *Kernel) error {
+	if s.conn != nil {
+		s.ns.CloseConn(s.conn)
+	}
+	if s.listener != nil {
+		delete(s.ns.listeners, s.listener.port)
+	}
+	return nil
+}
+
+// sysSocket creates an unbound socket.
+func sysSocket(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	k.HAL.KAccess(workSocket)
+	fd, e := p.allocFD(&Socket{ns: k.Net}, false)
+	if e != 0 {
+		return errno(e)
+	}
+	return uint64(fd)
+}
+
+func sockOf(p *Proc, fd int) (*Socket, uint64) {
+	d, e := p.fd(fd)
+	if e != 0 {
+		return nil, e
+	}
+	s, ok := d.Ops.(*Socket)
+	if !ok {
+		return nil, EINVAL
+	}
+	return s, 0
+}
+
+// sysBind binds a socket to a local port.
+func sysBind(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	s, e := sockOf(p, int(ic.Arg(0)))
+	if e != 0 {
+		return errno(e)
+	}
+	k.HAL.KAccess(workSocket)
+	port := uint16(ic.Arg(1))
+	if _, used := k.Net.listeners[port]; used {
+		return errno(EEXIST)
+	}
+	s.listener = &Listener{port: port}
+	return 0
+}
+
+// sysListen registers the bound port for incoming SYNs.
+func sysListen(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	s, e := sockOf(p, int(ic.Arg(0)))
+	if e != 0 {
+		return errno(e)
+	}
+	if s.listener == nil {
+		return errno(EINVAL)
+	}
+	k.HAL.KAccess(workSocket)
+	k.Net.listeners[s.listener.port] = s.listener
+	return 0
+}
+
+// sysAccept blocks for a connection and returns a new socket fd.
+func sysAccept(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	s, e := sockOf(p, int(ic.Arg(0)))
+	if e != 0 {
+		return errno(e)
+	}
+	if s.listener == nil {
+		return errno(EINVAL)
+	}
+	conn := k.Net.Accept(p, s.listener)
+	fd, e := p.allocFD(&Socket{ns: k.Net, conn: conn}, false)
+	if e != 0 {
+		return errno(e)
+	}
+	return uint64(fd)
+}
+
+// sysConnect dials arg1 as a destination port, blocking until
+// established. arg2 selects the host: RemoteHost for the machine on
+// the other end of the link, LocalHost (0) for a loopback service.
+func sysConnect(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	s, e := sockOf(p, int(ic.Arg(0)))
+	if e != 0 {
+		return errno(e)
+	}
+	k.HAL.KAccess(workSocket)
+	s.conn = k.Net.Connect(p, uint16(ic.Arg(1)), ic.Arg(2) == RemoteHost)
+	return 0
+}
+
+// Host selectors for the connect syscall's third argument.
+const (
+	// LocalHost addresses a service on this machine (loopback).
+	LocalHost = 0
+	// RemoteHost addresses the machine at the other end of the link.
+	RemoteHost = 1
+)
+
+// sysSendTo sends on a connected socket (same path as write).
+func sysSendTo(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	return sysWrite(k, p, ic)
+}
+
+// sysRecv receives from a connected socket (same path as read).
+func sysRecv(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	return sysRead(k, p, ic)
+}

@@ -1,0 +1,235 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// bootPair boots two native kernels over one shared clock with linked
+// NICs.
+func bootPair(t *testing.T) (*Kernel, *Kernel, *World) {
+	t.Helper()
+	clock := &hw.Clock{}
+	mA := hw.NewMachineWith(hw.DefaultConfig(), clock)
+	mB := hw.NewMachineWith(hw.MachineConfig{MemFrames: 16384, DiskBlocks: 1024, Seed: 2}, clock)
+	hw.Connect(mA.NIC, mB.NIC)
+	halA, err := core.NewNativeHAL(mA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halB, err := core.NewNativeHAL(mB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA, err := Boot(halA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kB, err := Boot(halB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kA, kB, &World{Kernels: []*Kernel{kA, kB}}
+}
+
+func TestCrossMachineTransfer(t *testing.T) {
+	server, client, world := bootPair(t)
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i % 253)
+	}
+	var received []byte
+	if _, err := server.Spawn("srv", func(p *Proc) {
+		sfd := p.Syscall(SysSocket)
+		p.Syscall(SysBind, sfd, 7000)
+		p.Syscall(SysListen, sfd)
+		cfd := p.Syscall(SysAccept, sfd)
+		buf := p.Alloc(32 * 1024)
+		for len(received) < len(payload) {
+			n := p.Syscall(SysRecv, cfd, buf, 32*1024)
+			if _, bad := IsErr(n); bad || n == 0 {
+				break
+			}
+			received = append(received, p.Read(buf, int(n))...)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if _, err := client.Spawn("cli", func(p *Proc) {
+		fd := p.Syscall(SysSocket)
+		p.Syscall(SysConnect, fd, 7000, RemoteHost)
+		buf := p.Alloc(len(payload))
+		p.Write(buf, payload)
+		p.Syscall(SysSendTo, fd, buf, uint64(len(payload)))
+		p.Syscall(SysClose, fd)
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !world.Run(func() bool { return done && len(received) >= len(payload) }) {
+		t.Fatalf("transfer stalled: got %d/%d", len(received), len(payload))
+	}
+	if !bytes.Equal(received, payload) {
+		t.Errorf("payload corrupted in transit")
+	}
+}
+
+func TestLoopbackAndRemoteCoexist(t *testing.T) {
+	server, client, world := bootPair(t)
+	// A local service and a remote service on the same port number.
+	var localGot, remoteGot string
+	if _, err := server.Spawn("remote-srv", func(p *Proc) {
+		sfd := p.Syscall(SysSocket)
+		p.Syscall(SysBind, sfd, 9000)
+		p.Syscall(SysListen, sfd)
+		cfd := p.Syscall(SysAccept, sfd)
+		buf := p.Alloc(64)
+		n := p.Syscall(SysRecv, cfd, buf, 64)
+		remoteGot = string(p.Read(buf, int(n)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Spawn("local-srv", func(p *Proc) {
+		sfd := p.Syscall(SysSocket)
+		p.Syscall(SysBind, sfd, 9000)
+		p.Syscall(SysListen, sfd)
+		cfd := p.Syscall(SysAccept, sfd)
+		buf := p.Alloc(64)
+		n := p.Syscall(SysRecv, cfd, buf, 64)
+		localGot = string(p.Read(buf, int(n)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if _, err := client.Spawn("cli", func(p *Proc) {
+		// Local connection.
+		fd := p.Syscall(SysSocket)
+		p.Syscall(SysConnect, fd, 9000, LocalHost)
+		m1 := p.PushString("to-local")
+		p.Syscall(SysSendTo, fd, m1, 8)
+		// Remote connection to the same port number on the peer.
+		fd2 := p.Syscall(SysSocket)
+		p.Syscall(SysConnect, fd2, 9000, RemoteHost)
+		m2 := p.PushString("to-remote")
+		p.Syscall(SysSendTo, fd2, m2, 9)
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !world.Run(func() bool { return done && localGot != "" && remoteGot != "" }) {
+		t.Fatalf("stalled: local=%q remote=%q", localGot, remoteGot)
+	}
+	if localGot != "to-local" || remoteGot != "to-remote" {
+		t.Errorf("misrouted: local=%q remote=%q", localGot, remoteGot)
+	}
+}
+
+func TestSocketEOFOnClose(t *testing.T) {
+	k, _, _ := bootPair(t)
+	var sawEOF bool
+	if _, err := k.Spawn("srv", func(p *Proc) {
+		sfd := p.Syscall(SysSocket)
+		p.Syscall(SysBind, sfd, 5000)
+		p.Syscall(SysListen, sfd)
+		cfd := p.Syscall(SysAccept, sfd)
+		buf := p.Alloc(16)
+		p.Syscall(SysRecv, cfd, buf, 16) // "hi"
+		n := p.Syscall(SysRecv, cfd, buf, 16)
+		sawEOF = n == 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("cli", func(p *Proc) {
+		fd := p.Syscall(SysSocket)
+		p.Syscall(SysConnect, fd, 5000, LocalHost)
+		m := p.PushString("hi")
+		p.Syscall(SysSendTo, fd, m, 2)
+		p.Syscall(SysClose, fd)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if !sawEOF {
+		t.Errorf("no EOF after peer close")
+	}
+}
+
+func TestBindConflict(t *testing.T) {
+	k, _, _ := bootPair(t)
+	var second uint64
+	if _, err := k.Spawn("binder", func(p *Proc) {
+		a := p.Syscall(SysSocket)
+		p.Syscall(SysBind, a, 4000)
+		p.Syscall(SysListen, a)
+		b := p.Syscall(SysSocket)
+		second = p.Syscall(SysBind, b, 4000)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if e, bad := IsErr(second); !bad || e != EEXIST {
+		t.Errorf("second bind = %d", int64(second))
+	}
+}
+
+func TestSelectOnSocket(t *testing.T) {
+	k, _, _ := bootPair(t)
+	var mask uint64
+	if _, err := k.Spawn("srv", func(p *Proc) {
+		sfd := p.Syscall(SysSocket)
+		p.Syscall(SysBind, sfd, 3000)
+		p.Syscall(SysListen, sfd)
+		cfd := p.Syscall(SysAccept, sfd)
+		arr := p.Alloc(4)
+		p.Store(arr, 4, cfd)
+		// Block in select until the client's data lands.
+		mask = p.Syscall(SysSelect, arr, 1, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("cli", func(p *Proc) {
+		fd := p.Syscall(SysSocket)
+		p.Syscall(SysConnect, fd, 3000, LocalHost)
+		m := p.PushString("ping")
+		p.Syscall(SysSendTo, fd, m, 4)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if mask != 1 {
+		t.Errorf("select mask = %#x", mask)
+	}
+}
+
+func TestSchedulerFairness(t *testing.T) {
+	k, _, _ := bootPair(t)
+	counts := map[int]int{}
+	for i := 0; i < 3; i++ {
+		id := i
+		if _, err := k.Spawn("worker", func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				p.Syscall(SysYield)
+				counts[id]++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntilIdle()
+	for i := 0; i < 3; i++ {
+		if counts[i] != 50 {
+			t.Errorf("worker %d ran %d iterations", i, counts[i])
+		}
+	}
+}
+
+func TestWorldDetectsQuiescence(t *testing.T) {
+	_, _, world := bootPair(t)
+	if world.Run(func() bool { return false }) {
+		t.Errorf("Run reported success with a false predicate")
+	}
+}

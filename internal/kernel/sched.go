@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// This file is the scheduler: a round-robin run queue over cooperative
+// process goroutines, serialized so exactly one goroutine (a process or
+// the scheduler itself) runs at a time — the single-core machine model
+// matching the prototype's single-socket testbed.
+
+// pickNext promotes blocked processes whose wait condition has become
+// true and returns the next runnable process in round-robin order
+// (first runnable PID strictly after the last-dispatched one, wrapping).
+func (k *Kernel) pickNext() *Proc {
+	var pids []int
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	sortInts(pids)
+	var first, after *Proc
+	for _, pid := range pids {
+		p := k.procs[pid]
+		if p.state == procBlocked && p.cond != nil && p.cond() {
+			p.state = procRunnable
+			p.cond = nil
+		}
+		if p.state != procRunnable {
+			continue
+		}
+		if first == nil {
+			first = p
+		}
+		if after == nil && pid > k.lastRunPID {
+			after = p
+		}
+	}
+	if after != nil {
+		return after
+	}
+	return first
+}
+
+// dispatch runs one process until it yields, blocks, or exits.
+func (k *Kernel) dispatch(p *Proc) {
+	k.lastRunPID = p.PID
+	k.stats.ContextSwitch++
+	k.HAL.KAccess(workSched)
+	k.M.Clock.Advance(hw.CostContextSwitch)
+	k.HAL.SetCurrentThread(p.tid)
+	if err := k.HAL.LoadAddressSpace(p.root); err != nil {
+		panic(fmt.Sprintf("kernel: context switch to pid %d: %v", p.PID, err))
+	}
+	k.M.CPU.Regs.Priv = hw.User
+	k.cur = p
+	p.runCh <- struct{}{}
+	<-p.yldCh
+	k.cur = nil
+}
+
+// RunUntilIdle schedules processes until none is runnable (all blocked,
+// zombies, or no processes left). Network input is polled between
+// dispatches so packets from a peer machine wake blocked readers.
+func (k *Kernel) RunUntilIdle() {
+	for {
+		k.Net.Poll()
+		p := k.pickNext()
+		if p == nil {
+			return
+		}
+		k.dispatch(p)
+	}
+}
+
+// RunUntil schedules until the predicate becomes true or the kernel
+// goes idle. It reports whether the predicate was satisfied.
+func (k *Kernel) RunUntil(done func() bool) bool {
+	for !done() {
+		k.Net.Poll()
+		p := k.pickNext()
+		if p == nil {
+			return done()
+		}
+		k.dispatch(p)
+	}
+	return true
+}
+
+// NumLive returns how many processes are not yet dead (zombies count:
+// they still need reaping).
+func (k *Kernel) NumLive() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.state != procDead {
+			n++
+		}
+	}
+	return n
+}
+
+// World co-schedules several machines' kernels (e.g. the server and the
+// client of a network experiment) over a shared clock: it alternates
+// RunUntilIdle across kernels until no kernel makes progress or the
+// predicate is satisfied.
+type World struct {
+	Kernels []*Kernel
+}
+
+// Run alternates the kernels until done() or global quiescence.
+// It reports whether done() was satisfied.
+func (w *World) Run(done func() bool) bool {
+	for {
+		if done() {
+			return true
+		}
+		progress := false
+		for _, k := range w.Kernels {
+			before := k.stats.ContextSwitch
+			k.RunUntilIdle()
+			if k.stats.ContextSwitch != before {
+				progress = true
+			}
+		}
+		if !progress {
+			return done()
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	// insertion sort: pid lists are tiny and this keeps the hot
+	// scheduler path allocation-free beyond the slice itself.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"repro/internal/core"
+)
+
+// sysSigaction implements sigaction(sig, handlerAddr): records the
+// handler code address for the signal. Note that the kernel records
+// only an *address*; whether that address is a legal control-transfer
+// target is the VM's decision at delivery time (sva.ipush.function).
+// The ghosting libc wrapper registers the address with
+// sva.permitFunction before making this call.
+func sysSigaction(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	sig := int(ic.Arg(0))
+	if sig <= 0 || sig > 64 {
+		return errno(EINVAL)
+	}
+	k.HAL.KAccess(workSignalInstall)
+	addr := ic.Arg(1)
+	if addr == 0 {
+		delete(p.sigHandlers, sig)
+	} else {
+		p.sigHandlers[sig] = addr
+	}
+	return 0
+}
+
+// sysKill implements kill(pid, sig).
+func sysKill(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	target, ok := k.procs[int(ic.Arg(0))]
+	if !ok {
+		return errno(ENOENT)
+	}
+	k.HAL.KAccess(workKill)
+	k.postSignal(target, int(ic.Arg(1)))
+	return 0
+}
+
+// postSignal queues a signal for a process (kernel-internal; modules
+// use it too).
+func (k *Kernel) postSignal(target *Proc, sig int) {
+	k.stats.SignalsSent++
+	if sig == SIGKILL {
+		k.forceExit(target, 128+SIGKILL)
+		return
+	}
+	target.sigPending = append(target.sigPending, sig)
+}
+
+// sysSigreturn restores the pre-signal interrupt context
+// (sva.icontext.load pops the copy saved at delivery).
+func sysSigreturn(k *Kernel, p *Proc, ic core.IContext) uint64 {
+	if err := k.HAL.LoadIC(p.tid); err != nil {
+		return errno(EINVAL)
+	}
+	return 0
+}
+
+// deliverSignals runs on every return-to-user path: for each pending
+// signal with an installed handler it saves the interrupt context and
+// asks the VM to redirect execution to the handler. Under Virtual Ghost
+// the VM refuses handler addresses the application never registered
+// (sva.permitFunction), which is precisely what stops the
+// code-injection rootkit: the signal is discarded and the victim
+// continues unharmed (paper §7).
+func (k *Kernel) deliverSignals(p *Proc, ic core.IContext) {
+	if p.killed || p.state == procZombie || p.state == procDead {
+		return
+	}
+	for len(p.sigPending) > 0 {
+		sig := p.sigPending[0]
+		p.sigPending = p.sigPending[1:]
+		addr, ok := p.sigHandlers[sig]
+		if !ok {
+			// Default dispositions: fatal signals kill, others are
+			// ignored.
+			switch sig {
+			case SIGSEGV, SIGPIPE:
+				k.forceExit(p, 128+sig)
+				return
+			}
+			continue
+		}
+		k.HAL.KAccess(workSignalDeliver)
+		if err := k.HAL.SaveIC(p.tid); err != nil {
+			continue
+		}
+		if err := k.HAL.IPushFunction(ic, addr, uint64(sig)); err != nil {
+			// The VM rejected the control transfer. Undo the saved
+			// context and drop the signal; the application continues
+			// unaffected.
+			k.stats.SignalsBlocked++
+			_ = k.HAL.LoadIC(p.tid)
+			continue
+		}
+		// One handler per return-to-user; remaining signals deliver on
+		// subsequent traps (the sigreturn).
+		return
+	}
+}

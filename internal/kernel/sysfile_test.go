@@ -1,0 +1,245 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+func TestDevices(t *testing.T) {
+	k := bootKernel(t, core.ModeNative)
+	var nullRead, randRead uint64
+	var randBytes []byte
+	_, err := k.Spawn("dev", func(p *Proc) {
+		// /dev/null: writes sink, reads EOF.
+		nul := p.Syscall(SysOpen, p.PushString("/dev/null"), ORdWr)
+		buf := p.Alloc(64)
+		p.Write(buf, []byte("discard"))
+		if n := p.Syscall(SysWrite, nul, buf, 7); n != 7 {
+			t.Errorf("null write = %d", int64(n))
+		}
+		nullRead = p.Syscall(SysRead, nul, buf, 16)
+		p.Syscall(SysClose, nul)
+		// /dev/random: reads fill.
+		rnd := p.Syscall(SysOpen, p.PushString("/dev/random"), ORdOnly)
+		randRead = p.Syscall(SysRead, rnd, buf, 16)
+		randBytes = p.Read(buf, 16)
+		// /dev/console: writes reach the machine console.
+		con := p.Syscall(SysOpen, p.PushString("/dev/console"), OWrOnly)
+		msg := p.PushString("dmesg line")
+		p.Syscall(SysWrite, con, msg, 10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if nullRead != 0 {
+		t.Errorf("null read = %d", nullRead)
+	}
+	if randRead != 16 || bytes.Equal(randBytes, make([]byte, 16)) {
+		t.Errorf("random read = %d % x", randRead, randBytes)
+	}
+	if !k.Console().Contains("dmesg line") {
+		t.Errorf("console write lost")
+	}
+}
+
+func TestLseekWhence(t *testing.T) {
+	k := bootKernel(t, core.ModeNative)
+	k.WriteKernelFile("/seek.txt", []byte("0123456789"))
+	var atSet, atCur, atEnd uint64
+	_, err := k.Spawn("seeker", func(p *Proc) {
+		fd := p.Syscall(SysOpen, p.PushString("/seek.txt"), ORdOnly)
+		atSet = p.Syscall(SysLseek, fd, 4, 0)          // SEEK_SET
+		atCur = p.Syscall(SysLseek, fd, 3, 1)          // SEEK_CUR
+		atEnd = p.Syscall(SysLseek, fd, ^uint64(1), 2) // SEEK_END -2
+		// And a read picks up at that offset.
+		buf := p.Alloc(8)
+		n := p.Syscall(SysRead, fd, buf, 8)
+		if got := string(p.Read(buf, int(n))); got != "89" {
+			t.Errorf("read after seek = %q", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if atSet != 4 || atCur != 7 || atEnd != 8 {
+		t.Errorf("seeks = %d %d %d", atSet, atCur, atEnd)
+	}
+}
+
+func TestSyscallErrorPaths(t *testing.T) {
+	k := bootKernel(t, core.ModeNative)
+	_, err := k.Spawn("errs", func(p *Proc) {
+		check := func(name string, ret uint64, want uint64) {
+			e, bad := IsErr(ret)
+			if !bad || e != want {
+				t.Errorf("%s: ret=%d want errno %d", name, int64(ret), want)
+			}
+		}
+		buf := p.Alloc(16)
+		check("read bad fd", p.Syscall(SysRead, 99, buf, 8), EBADF)
+		check("write bad fd", p.Syscall(SysWrite, 99, buf, 8), EBADF)
+		check("close bad fd", p.Syscall(SysClose, 99), EBADF)
+		check("open missing", p.Syscall(SysOpen, p.PushString("/missing"), ORdOnly), ENOENT)
+		check("unlink missing", p.Syscall(SysUnlink, p.PushString("/missing")), ENOENT)
+		check("exec missing", p.Syscall(SysExecve, p.PushString("/bin/missing")), ENOENT)
+		check("kill missing", p.Syscall(SysKill, 999, SIGUSR1), ENOENT)
+		check("wait no children", p.Syscall(SysWait4, 0), EINVAL)
+		check("munmap bogus", p.Syscall(SysMunmap, 0x123000, hw.PageSize), EINVAL)
+		check("unknown syscall", p.Syscall(9999), ENOSYS)
+		// lseek on a pipe is ESPIPE.
+		fdsPtr := p.Alloc(8)
+		p.Syscall(SysPipe, fdsPtr)
+		rfd := p.Load(fdsPtr, 4)
+		check("lseek pipe", p.Syscall(SysLseek, rfd, 0, 0), ESPIPE)
+		// Directory opened for writing is EISDIR.
+		p.Syscall(SysMkdir, p.PushString("/adir"))
+		check("open dir for write", p.Syscall(SysOpen, p.PushString("/adir"), OWrOnly), EISDIR)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+}
+
+func TestFDExhaustion(t *testing.T) {
+	k := bootKernel(t, core.ModeNative)
+	k.WriteKernelFile("/x", []byte("x"))
+	var lastErr uint64
+	_, err := k.Spawn("hog", func(p *Proc) {
+		path := p.PushString("/x")
+		for i := 0; i < maxFDs+2; i++ {
+			ret := p.Syscall(SysOpen, path, ORdOnly)
+			if e, bad := IsErr(ret); bad {
+				lastErr = e
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if lastErr != EMFILE {
+		t.Errorf("fd exhaustion errno = %d", lastErr)
+	}
+}
+
+func TestOTruncAndOAppend(t *testing.T) {
+	k := bootKernel(t, core.ModeNative)
+	k.WriteKernelFile("/t.txt", []byte("old contents here"))
+	_, err := k.Spawn("p", func(p *Proc) {
+		// O_TRUNC resets the file.
+		fd := p.Syscall(SysOpen, p.PushString("/t.txt"), ORdWr|OTrunc)
+		msg := p.PushString("new")
+		p.Syscall(SysWrite, fd, msg, 3)
+		p.Syscall(SysClose, fd)
+		// O_APPEND starts at the end.
+		fd = p.Syscall(SysOpen, p.PushString("/t.txt"), ORdWr|OAppend)
+		tail := p.PushString("+tail")
+		p.Syscall(SysWrite, fd, tail, 5)
+		p.Syscall(SysClose, fd)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	got, _ := k.ReadKernelFile("/t.txt")
+	if string(got) != "new+tail" {
+		t.Errorf("file = %q", got)
+	}
+}
+
+func TestStatSyscall(t *testing.T) {
+	k := bootKernel(t, core.ModeNative)
+	k.WriteKernelFile("/s.bin", make([]byte, 12345))
+	var size, isdir uint64
+	_, err := k.Spawn("p", func(p *Proc) {
+		statBuf := p.Alloc(16)
+		if ret := p.Syscall(SysStat, p.PushString("/s.bin"), statBuf); ret != 0 {
+			t.Fatalf("stat: %d", int64(ret))
+		}
+		size = p.Load(statBuf, 8)
+		p.Syscall(SysMkdir, p.PushString("/sd"))
+		p.Syscall(SysStat, p.PushString("/sd"), statBuf)
+		isdir = p.Load(statBuf+8, 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if size != 12345 || isdir != 1 {
+		t.Errorf("stat: size=%d isdir=%d", size, isdir)
+	}
+}
+
+func TestDiskFullReturnsENOSPC(t *testing.T) {
+	// A machine with a tiny disk fills up quickly.
+	m := hw.NewMachine(hw.MachineConfig{MemFrames: 8192, DiskBlocks: 200, Seed: 1})
+	hal, err := core.NewNativeHAL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Boot(hal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawENOSPC bool
+	_, err = k.Spawn("filler", func(p *Proc) {
+		fd := p.Syscall(SysOpen, p.PushString("/big"), OCreat|ORdWr)
+		buf := p.Alloc(4096)
+		for i := 0; i < 300; i++ {
+			ret := p.Syscall(SysWrite, fd, buf, 4096)
+			if e, bad := IsErr(ret); bad {
+				sawENOSPC = e == ENOSPC
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if !sawENOSPC {
+		t.Errorf("disk never filled or wrong errno")
+	}
+}
+
+func TestOutOfMemoryKillsGracefully(t *testing.T) {
+	// A machine with very little RAM: a process that touches pages
+	// until allocation fails must die without wedging the kernel.
+	m := hw.NewMachine(hw.MachineConfig{MemFrames: 220, DiskBlocks: 64, Seed: 1})
+	hal, err := core.NewVM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Boot(hal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survived := false
+	if _, err := k.Spawn("hog", func(p *Proc) {
+		base := p.Syscall(SysMmap, 4096*4096, ^uint64(0), 0)
+		for off := uint64(0); ; off += hw.PageSize {
+			p.Store(base+off, 8, off)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	// The kernel is still functional afterwards.
+	if _, err := k.Spawn("after", func(p *Proc) {
+		p.Syscall(SysGetpid)
+		survived = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle()
+	if !survived {
+		t.Errorf("kernel unusable after OOM kill")
+	}
+}

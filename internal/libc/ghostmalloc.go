@@ -1,0 +1,144 @@
+package libc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+)
+
+// ghostHeap is the ghost-memory heap allocator behind malloc: a
+// segregated free-list allocator over pages obtained from allocgm. The
+// design mirrors a simple phkmalloc-era allocator: size classes up to
+// half a page served from per-class free lists carved out of dedicated
+// pages; larger requests get whole page runs.
+type ghostHeap struct {
+	p *kernel.Proc
+
+	// freeLists[class] holds free chunk addresses for each size class.
+	freeLists map[int][]GPtr
+	// chunkClass remembers each allocated chunk's class (the real
+	// allocator stores this in a page header in ghost memory; the
+	// bookkeeping itself is heap metadata that also lives in ghost
+	// memory conceptually).
+	chunkClass map[GPtr]int
+	// bigRuns maps large allocations to their page counts.
+	bigRuns map[GPtr]int
+
+	allocs, frees, pages int
+}
+
+// Size classes: powers of two from 16 bytes to half a page.
+var sizeClasses = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+func classFor(n int) (idx, size int, ok bool) {
+	for i, s := range sizeClasses {
+		if n <= s {
+			return i, s, true
+		}
+	}
+	return 0, 0, false
+}
+
+func newGhostHeap(p *kernel.Proc) (*ghostHeap, error) {
+	return &ghostHeap{
+		p:          p,
+		freeLists:  make(map[int][]GPtr),
+		chunkClass: make(map[GPtr]int),
+		bigRuns:    make(map[GPtr]int),
+	}, nil
+}
+
+// alloc returns a ghost pointer to at least n bytes.
+func (h *ghostHeap) alloc(n int) (GPtr, error) {
+	if n <= 0 {
+		n = 1
+	}
+	h.allocs++
+	idx, size, small := classFor(n)
+	if !small {
+		npages := (n + hw.PageSize - 1) / hw.PageSize
+		va, err := h.p.AllocGM(npages)
+		if err != nil {
+			return 0, err
+		}
+		h.pages += npages
+		ptr := GPtr(va)
+		h.bigRuns[ptr] = npages
+		return ptr, nil
+	}
+	if len(h.freeLists[idx]) == 0 {
+		// Carve a fresh ghost page into chunks of this class.
+		va, err := h.p.AllocGM(1)
+		if err != nil {
+			return 0, err
+		}
+		h.pages++
+		for off := 0; off+size <= hw.PageSize; off += size {
+			h.freeLists[idx] = append(h.freeLists[idx], GPtr(uint64(va)+uint64(off)))
+		}
+	}
+	list := h.freeLists[idx]
+	ptr := list[len(list)-1]
+	h.freeLists[idx] = list[:len(list)-1]
+	h.chunkClass[ptr] = idx
+	return ptr, nil
+}
+
+// free returns a chunk to its free list (whole-page runs go back to the
+// VM via freegm, which scrubs them).
+func (h *ghostHeap) free(ptr GPtr) {
+	h.frees++
+	if npages, ok := h.bigRuns[ptr]; ok {
+		delete(h.bigRuns, ptr)
+		if err := h.p.FreeGM(hw.Virt(ptr), npages); err != nil {
+			panic(fmt.Sprintf("libc: freegm: %v", err))
+		}
+		h.pages -= npages
+		return
+	}
+	idx, ok := h.chunkClass[ptr]
+	if !ok {
+		panic(fmt.Sprintf("libc: free of unallocated ghost pointer %#x", uint64(ptr)))
+	}
+	delete(h.chunkClass, ptr)
+	h.freeLists[idx] = append(h.freeLists[idx], ptr)
+}
+
+// checkInvariants validates allocator consistency (used by property
+// tests): no chunk is simultaneously free and allocated, free-list
+// entries are unique and class-aligned.
+func (h *ghostHeap) checkInvariants() error {
+	seen := make(map[GPtr]bool)
+	for idx, list := range h.freeLists {
+		size := sizeClasses[idx]
+		for _, ptr := range list {
+			if seen[ptr] {
+				return fmt.Errorf("chunk %#x on a free list twice", uint64(ptr))
+			}
+			seen[ptr] = true
+			if _, alloc := h.chunkClass[ptr]; alloc {
+				return fmt.Errorf("chunk %#x both free and allocated", uint64(ptr))
+			}
+			if uint64(ptr)%uint64(size) != 0 {
+				return fmt.Errorf("chunk %#x misaligned for class %d", uint64(ptr), size)
+			}
+		}
+	}
+	// Allocated chunks must not overlap: sort by address and compare
+	// extents within each page.
+	var ptrs []GPtr
+	for ptr := range h.chunkClass {
+		ptrs = append(ptrs, ptr)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i] < ptrs[j] })
+	for i := 1; i < len(ptrs); i++ {
+		prev := ptrs[i-1]
+		prevEnd := uint64(prev) + uint64(sizeClasses[h.chunkClass[prev]])
+		if uint64(ptrs[i]) < prevEnd {
+			return fmt.Errorf("chunks %#x and %#x overlap", uint64(prev), uint64(ptrs[i]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package vgcrypt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(b byte) []byte {
+	k := make([]byte, KeySize)
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := testKey(1)
+	ns := NewNonceSource([4]byte{1, 2, 3, 4})
+	fn := func(msg []byte) bool {
+		blob, err := Seal(key, ns.Next(), msg)
+		if err != nil {
+			return false
+		}
+		out, err := Open(key, blob)
+		return err == nil && bytes.Equal(out, msg)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenDetectsEveryBitFlip(t *testing.T) {
+	key := testKey(2)
+	blob, err := SealWithKeyAndCounter(key, 1, []byte("integrity matters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(blob); i++ {
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 0x01
+		if _, err := Open(key, mutated); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestOpenWrongKey(t *testing.T) {
+	blob, _ := SealWithKeyAndCounter(testKey(3), 1, []byte("secret"))
+	if _, err := Open(testKey(4), blob); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong key accepted: %v", err)
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	blob, _ := SealWithKeyAndCounter(testKey(3), 1, []byte("secret"))
+	for _, n := range []int{0, 1, NonceSize, len(blob) - 1} {
+		if _, err := Open(testKey(3), blob[:n]); err == nil {
+			t.Errorf("truncated blob (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := Seal([]byte("short"), [NonceSize]byte{}, nil); !errors.Is(err, ErrBadKey) {
+		t.Errorf("short key accepted: %v", err)
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	key := testKey(5)
+	msg := []byte("very-recognizable-plaintext-marker")
+	blob, _ := SealWithKeyAndCounter(key, 9, msg)
+	if bytes.Contains(blob, msg) || bytes.Contains(blob, msg[:8]) {
+		t.Errorf("ciphertext contains plaintext")
+	}
+}
+
+func TestNonceUniqueness(t *testing.T) {
+	ns := NewNonceSource([4]byte{9, 9, 9, 9})
+	seen := map[[NonceSize]byte]bool{}
+	for i := 0; i < 10000; i++ {
+		n := ns.Next()
+		if seen[n] {
+			t.Fatalf("nonce repeated at %d", i)
+		}
+		seen[n] = true
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	a := Checksum([]byte("x"))
+	b := Checksum([]byte("x"))
+	c := Checksum([]byte("y"))
+	if a != b || a == c {
+		t.Errorf("checksum misbehaves")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 7
+	kp := DeriveKeyPair(seed)
+	msg := []byte("authenticate me")
+	sig := kp.Sign(msg)
+	if !VerifySig(kp.Public, msg, sig) {
+		t.Fatalf("valid signature rejected")
+	}
+	if VerifySig(kp.Public, []byte("other"), sig) {
+		t.Errorf("signature verified over wrong message")
+	}
+	sig[0] ^= 1
+	if VerifySig(kp.Public, msg, sig) {
+		t.Errorf("corrupted signature verified")
+	}
+	if VerifySig([]byte("not a key"), msg, sig) {
+		t.Errorf("garbage public key verified")
+	}
+}
+
+func TestDeriveKeyPairDeterministic(t *testing.T) {
+	var seed [32]byte
+	seed[5] = 42
+	a := DeriveKeyPair(seed)
+	b := DeriveKeyPair(seed)
+	if !bytes.Equal(a.Private, b.Private) {
+		t.Errorf("same seed gave different keys")
+	}
+}
+
+func TestDeriveKeySeparation(t *testing.T) {
+	parent := testKey(6)
+	a := DeriveKey(parent, "swap")
+	b := DeriveKey(parent, "seal")
+	if bytes.Equal(a, b) {
+		t.Errorf("different labels derived the same key")
+	}
+	if len(a) != KeySize {
+		t.Errorf("derived key size %d", len(a))
+	}
+	c := DeriveKey(testKey(7), "swap")
+	if bytes.Equal(a, c) {
+		t.Errorf("different parents derived the same key")
+	}
+}
+
+func TestOverheadMatchesSeal(t *testing.T) {
+	blob, _ := SealWithKeyAndCounter(testKey(1), 1, make([]byte, 100))
+	if len(blob) != 100+Overhead() {
+		t.Errorf("overhead = %d, want %d", len(blob)-100, Overhead())
+	}
+}

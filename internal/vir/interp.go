@@ -1,0 +1,369 @@
+package vir
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Env is the world an executing IR function sees: memory (through the
+// simulated CPU/MMU at supervisor privilege), host intrinsics (kernel
+// services exposed to modules), the code space (function-pointer
+// resolution), and the clock. The kernel provides the Env when it runs
+// module code.
+type Env interface {
+	// Load/Store/Memcpy access simulated virtual memory at the
+	// privilege of the executing context.
+	Load(addr hw.Virt, size int) (uint64, error)
+	Store(addr hw.Virt, size int, v uint64) error
+	Memcpy(dst, src hw.Virt, n int) error
+	// Intrinsic invokes a named host service (console printing,
+	// kernel helpers the module links against).
+	Intrinsic(name string, args []uint64) (uint64, error)
+	// FuncByAddr resolves a code address to a function, if the address
+	// is the entry point of one.
+	FuncByAddr(addr uint64) (*Function, bool)
+	// FuncAddr returns the code address of a named function.
+	FuncAddr(name string) (uint64, bool)
+	// InKernelCode reports whether addr lies inside kernel code space
+	// (the CFI pass also masks targets to this range).
+	InKernelCode(addr uint64) bool
+	// PortIn/PortOut access the I/O port bus. Under Virtual Ghost the
+	// kernel's Env routes these through the SVA VM's checked I/O
+	// instructions; natively they hit the bus directly.
+	PortIn(port uint16) (uint64, error)
+	PortOut(port uint16, v uint64) error
+	Clock() *hw.Clock
+}
+
+// CFIViolation is raised when an instrumented return or indirect call
+// detects an illegal target. The kernel terminates the offending thread
+// (paper §4.5: "the CFI instrumentation would detect that and terminate
+// the execution of the kernel thread").
+type CFIViolation struct {
+	Fn     string
+	Target uint64
+	Reason string
+}
+
+func (e *CFIViolation) Error() string {
+	return fmt.Sprintf("vir: CFI violation in %s: target %#x: %s", e.Fn, e.Target, e.Reason)
+}
+
+// ErrStepLimit is returned when execution exceeds the interpreter's
+// step budget (runaway loop guard).
+var ErrStepLimit = errors.New("vir: step limit exceeded")
+
+// corruptReturnIntrinsic is the interpreter-level model of a stack-smash
+// that overwrites a return address: calling it stores an override that
+// the enclosing function's return will use as its control target.
+const corruptReturnIntrinsic = "__corrupt_return"
+
+// Interp executes IR functions against an Env.
+type Interp struct {
+	Env      Env
+	MaxSteps int
+	steps    int
+}
+
+// NewInterp creates an interpreter with the default step budget.
+func NewInterp(env Env) *Interp {
+	return &Interp{Env: env, MaxSteps: 50_000_000}
+}
+
+type frame struct {
+	fn          *Function
+	regs        []uint64
+	retOverride uint64 // code address forced by __corrupt_return; 0 = none
+	overridden  bool
+}
+
+func (fr *frame) val(v Value) uint64 {
+	if v.IsImm {
+		return v.Imm
+	}
+	return fr.regs[v.Reg]
+}
+
+// Call runs fn with the given arguments and returns its return value.
+func (ip *Interp) Call(fn *Function, args ...uint64) (uint64, error) {
+	ip.steps = 0
+	return ip.exec(fn, args, 0)
+}
+
+func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
+	if depth > 256 {
+		return 0, fmt.Errorf("vir: call depth exceeded in %s", fn.Name)
+	}
+	if len(args) != fn.NParams {
+		return 0, fmt.Errorf("vir: %s wants %d args, got %d", fn.Name, fn.NParams, len(args))
+	}
+	fr := &frame{fn: fn, regs: make([]uint64, fn.NRegs)}
+	copy(fr.regs, args)
+	clk := ip.Env.Clock()
+
+	blk := fn.Entry()
+	pc := 0
+	for {
+		ip.steps++
+		if ip.steps > ip.MaxSteps {
+			return 0, ErrStepLimit
+		}
+		if pc >= len(blk.Instrs) {
+			return 0, fmt.Errorf("vir: fell off block %s/%s", fn.Name, blk.Name)
+		}
+		in := blk.Instrs[pc]
+		switch in.Op {
+		case OpConst:
+			fr.regs[in.Dst] = in.Imm
+			clk.Advance(hw.CostALU)
+		case OpMov:
+			fr.regs[in.Dst] = fr.val(in.A)
+			clk.Advance(hw.CostALU)
+		case OpAdd:
+			fr.regs[in.Dst] = fr.val(in.A) + fr.val(in.B)
+			clk.Advance(hw.CostALU)
+		case OpSub:
+			fr.regs[in.Dst] = fr.val(in.A) - fr.val(in.B)
+			clk.Advance(hw.CostALU)
+		case OpMul:
+			fr.regs[in.Dst] = fr.val(in.A) * fr.val(in.B)
+			clk.Advance(hw.CostALU)
+		case OpAnd:
+			fr.regs[in.Dst] = fr.val(in.A) & fr.val(in.B)
+			clk.Advance(hw.CostALU)
+		case OpOr:
+			fr.regs[in.Dst] = fr.val(in.A) | fr.val(in.B)
+			clk.Advance(hw.CostALU)
+		case OpXor:
+			fr.regs[in.Dst] = fr.val(in.A) ^ fr.val(in.B)
+			clk.Advance(hw.CostALU)
+		case OpShl:
+			fr.regs[in.Dst] = fr.val(in.A) << (fr.val(in.B) & 63)
+			clk.Advance(hw.CostALU)
+		case OpShr:
+			fr.regs[in.Dst] = fr.val(in.A) >> (fr.val(in.B) & 63)
+			clk.Advance(hw.CostALU)
+		case OpCmpEQ:
+			fr.regs[in.Dst] = b2u(fr.val(in.A) == fr.val(in.B))
+			clk.Advance(hw.CostALU)
+		case OpCmpNE:
+			fr.regs[in.Dst] = b2u(fr.val(in.A) != fr.val(in.B))
+			clk.Advance(hw.CostALU)
+		case OpCmpLT:
+			fr.regs[in.Dst] = b2u(fr.val(in.A) < fr.val(in.B))
+			clk.Advance(hw.CostALU)
+		case OpCmpGE:
+			fr.regs[in.Dst] = b2u(fr.val(in.A) >= fr.val(in.B))
+			clk.Advance(hw.CostALU)
+		case OpSelect:
+			if fr.val(in.A) != 0 {
+				fr.regs[in.Dst] = fr.val(in.B)
+			} else {
+				fr.regs[in.Dst] = fr.val(in.C)
+			}
+			clk.Advance(hw.CostALU)
+
+		case OpMaskGhost:
+			// The sandbox sequence the compiler inserted: compare
+			// against the partition bases, OR in the escape bit /
+			// zero SVA-internal addresses.
+			clk.Advance(hw.CostMaskCheck)
+			fr.regs[in.Dst] = MaskAddress(fr.val(in.A))
+
+		case OpLoad:
+			v, err := ip.Env.Load(hw.Virt(fr.val(in.A)), in.Size)
+			if err != nil {
+				return 0, err
+			}
+			fr.regs[in.Dst] = v
+		case OpStore:
+			if err := ip.Env.Store(hw.Virt(fr.val(in.A)), in.Size, fr.val(in.B)); err != nil {
+				return 0, err
+			}
+		case OpMemcpy:
+			if err := ip.Env.Memcpy(hw.Virt(fr.val(in.A)), hw.Virt(fr.val(in.B)), int(fr.val(in.C))); err != nil {
+				return 0, err
+			}
+
+		case OpBr:
+			clk.Advance(hw.CostBranch)
+			blk = fn.FindBlock(in.Blk1)
+			pc = 0
+			continue
+		case OpCondBr:
+			clk.Advance(hw.CostBranch)
+			if fr.val(in.A) != 0 {
+				blk = fn.FindBlock(in.Blk1)
+			} else {
+				blk = fn.FindBlock(in.Blk2)
+			}
+			pc = 0
+			continue
+
+		case OpCall:
+			clk.Advance(hw.CostCall)
+			argv := make([]uint64, len(in.Args))
+			for i, a := range in.Args {
+				argv[i] = fr.val(a)
+			}
+			if in.Sym == corruptReturnIntrinsic {
+				// Stack smash: overwrite this frame's return target.
+				if len(argv) != 1 {
+					return 0, fmt.Errorf("vir: %s wants 1 arg", corruptReturnIntrinsic)
+				}
+				fr.retOverride = argv[0]
+				fr.overridden = true
+				fr.regs[in.Dst] = 0
+				break
+			}
+			ret, err := ip.dispatchCall(in.Sym, argv, depth)
+			if err != nil {
+				return 0, err
+			}
+			fr.regs[in.Dst] = ret
+
+		case OpCallInd, OpCFICallInd:
+			clk.Advance(hw.CostCall)
+			target := fr.val(in.A)
+			if in.Op == OpCFICallInd {
+				clk.Advance(hw.CostCFICheck)
+				if err := ip.cfiCheckTarget(fn.Name, target); err != nil {
+					return 0, err
+				}
+			}
+			callee, ok := ip.Env.FuncByAddr(target)
+			if !ok {
+				return 0, fmt.Errorf("vir: indirect call in %s to non-code address %#x", fn.Name, target)
+			}
+			argv := make([]uint64, len(in.Args))
+			for i, a := range in.Args {
+				argv[i] = fr.val(a)
+			}
+			ret, err := ip.exec(callee, argv, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			fr.regs[in.Dst] = ret
+
+		case OpRet, OpCFIRet:
+			clk.Advance(hw.CostCall)
+			if in.Op == OpCFIRet {
+				clk.Advance(hw.CostCFICheck)
+			}
+			if fr.overridden {
+				// The return address was smashed. An instrumented
+				// return checks the target; a plain return pivots
+				// control to it (the ROP case).
+				target := fr.retOverride
+				if in.Op == OpCFIRet {
+					if err := ip.cfiCheckTarget(fn.Name, target); err != nil {
+						return 0, err
+					}
+				}
+				gadget, ok := ip.Env.FuncByAddr(target)
+				if !ok {
+					return 0, fmt.Errorf("vir: return pivots to non-code address %#x", target)
+				}
+				if gadget.NParams != 0 {
+					return 0, fmt.Errorf("vir: return pivot target %s expects arguments", gadget.Name)
+				}
+				return ip.exec(gadget, nil, depth+1)
+			}
+			return fr.val(in.A), nil
+
+		case OpPortIn:
+			v, err := ip.Env.PortIn(uint16(fr.val(in.A)))
+			if err != nil {
+				return 0, err
+			}
+			fr.regs[in.Dst] = v
+		case OpPortOut:
+			if err := ip.Env.PortOut(uint16(fr.val(in.A)), fr.val(in.B)); err != nil {
+				return 0, err
+			}
+
+		case OpAsm:
+			// Inline assembly executes only in code the trusted
+			// translator never saw (Native configuration); its effect
+			// is whatever host intrinsic the text names.
+			if _, err := ip.Env.Intrinsic("asm:"+in.Sym, nil); err != nil {
+				return 0, err
+			}
+
+		case OpFuncAddr:
+			addr, ok := ip.Env.FuncAddr(in.Sym)
+			if !ok {
+				return 0, fmt.Errorf("vir: funcaddr of unknown symbol %q", in.Sym)
+			}
+			fr.regs[in.Dst] = addr
+			clk.Advance(hw.CostALU)
+
+		case OpCFILabel:
+			clk.Advance(hw.CostCFILabel)
+
+		default:
+			return 0, fmt.Errorf("vir: unimplemented opcode %v", in.Op)
+		}
+		pc++
+	}
+}
+
+// dispatchCall resolves a direct call: module/code-space function first,
+// then host intrinsic.
+func (ip *Interp) dispatchCall(sym string, args []uint64, depth int) (uint64, error) {
+	if addr, ok := ip.Env.FuncAddr(sym); ok {
+		if callee, ok := ip.Env.FuncByAddr(addr); ok {
+			return ip.exec(callee, args, depth+1)
+		}
+	}
+	return ip.Env.Intrinsic(sym, args)
+}
+
+// cfiCheckTarget implements the instrumented control-transfer check:
+// the target must be in kernel code space and must be the entry of a
+// function that carries a CFI label.
+func (ip *Interp) cfiCheckTarget(from string, target uint64) error {
+	if !ip.Env.InKernelCode(target) {
+		return &CFIViolation{Fn: from, Target: target, Reason: "target outside kernel code space"}
+	}
+	callee, ok := ip.Env.FuncByAddr(target)
+	if !ok {
+		return &CFIViolation{Fn: from, Target: target, Reason: "target is not a function entry"}
+	}
+	if !callee.Labeled {
+		return &CFIViolation{Fn: from, Target: target, Reason: "target has no CFI label"}
+	}
+	return nil
+}
+
+// MaskAddress is the semantic of the sandbox masking sequence: ghost-
+// partition addresses get the escape bit OR-ed in (pushing them into
+// kernel space), and SVA-internal addresses are redirected to 0 (the
+// prototype zeroed them; frame 0 is reserved so such accesses fault).
+func MaskAddress(a uint64) uint64 {
+	if a >= uint64(hw.GhostBase) {
+		a |= uint64(hw.GhostEscapeBit)
+	}
+	if a >= uint64(SVAInternalBase) && a < uint64(SVAInternalTop) {
+		a = 0
+	}
+	return a
+}
+
+// SVA internal memory occupies a carve-out of the kernel data segment,
+// as in the prototype ("we opted to leave the SVA internal memory
+// within the kernel's data segment"). The load/store instrumentation
+// zeroes addresses in this window.
+const (
+	SVAInternalBase hw.Virt = 0xffffff9000000000
+	SVAInternalTop  hw.Virt = 0xffffff9040000000 // 1 GiB window
+)
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,445 @@
+package vir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses the textual form emitted by Format/FormatModule, so
+// modules can be written, stored, and inspected as assembly text. The
+// parser and printer round-trip: ParseFunction(Format(f)) reproduces f
+// up to formatting.
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("vir: parse error at line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) cur() (string, bool) {
+	if p.pos >= len(p.lines) {
+		return "", false
+	}
+	return strings.TrimSpace(p.lines[p.pos]), true
+}
+
+func (p *parser) next() { p.pos++ }
+
+func (p *parser) skipBlank() {
+	for {
+		line, ok := p.cur()
+		if !ok || line != "" {
+			return
+		}
+		p.next()
+	}
+}
+
+// ParseModule parses the textual form of a module (the FormatModule
+// output): a "module NAME" line followed by function definitions.
+func ParseModule(text string) (*Module, error) {
+	p := &parser{lines: strings.Split(text, "\n")}
+	p.skipBlank()
+	line, ok := p.cur()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return nil, p.errf("expected 'module NAME'")
+	}
+	m := NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+	p.next()
+	for {
+		p.skipBlank()
+		line, ok := p.cur()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line, "func ") {
+			return nil, p.errf("expected function definition, got %q", line)
+		}
+		f, err := p.function()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddFunc(f); err != nil {
+			return nil, p.errf("%v", err)
+		}
+	}
+	return m, nil
+}
+
+// ParseFunction parses one function definition.
+func ParseFunction(text string) (*Function, error) {
+	p := &parser{lines: strings.Split(text, "\n")}
+	p.skipBlank()
+	return p.function()
+}
+
+// function parses "func NAME(N params) [flags] {" ... "}".
+func (p *parser) function() (*Function, error) {
+	header, _ := p.cur()
+	if !strings.HasPrefix(header, "func ") || !strings.HasSuffix(header, "{") {
+		return nil, p.errf("malformed function header %q", header)
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(header, "func "), "{")
+	open := strings.IndexByte(body, '(')
+	closeP := strings.IndexByte(body, ')')
+	if open < 0 || closeP < open {
+		return nil, p.errf("malformed parameter list in %q", header)
+	}
+	f := &Function{Name: strings.TrimSpace(body[:open])}
+	paramSpec := strings.TrimSpace(body[open+1 : closeP])
+	if !strings.HasSuffix(paramSpec, " params") {
+		return nil, p.errf("malformed parameter count %q", paramSpec)
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(paramSpec, " params"))
+	if err != nil || n < 0 {
+		return nil, p.errf("bad parameter count %q", paramSpec)
+	}
+	f.NParams = n
+	maxReg := n - 1
+	for _, flag := range strings.Fields(body[closeP+1:]) {
+		switch flag {
+		case "sandboxed":
+			f.Sandboxed = true
+		case "labeled":
+			f.Labeled = true
+		case "translated":
+			f.Translated = true
+		default:
+			return nil, p.errf("unknown function flag %q", flag)
+		}
+	}
+	p.next()
+
+	var blk *Block
+	for {
+		line, ok := p.cur()
+		if !ok {
+			return nil, p.errf("unexpected end of input in function %s", f.Name)
+		}
+		if line == "" {
+			p.next()
+			continue
+		}
+		if line == "}" {
+			p.next()
+			break
+		}
+		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t=") {
+			blk = &Block{Name: strings.TrimSuffix(line, ":")}
+			f.Blocks = append(f.Blocks, blk)
+			p.next()
+			continue
+		}
+		if blk == nil {
+			return nil, p.errf("instruction before any block label")
+		}
+		in, hi, err := p.instr(line)
+		if err != nil {
+			return nil, err
+		}
+		if hi > maxReg {
+			maxReg = hi
+		}
+		blk.Instrs = append(blk.Instrs, in)
+		p.next()
+	}
+	f.NRegs = maxReg + 1
+	return f, nil
+}
+
+// value parses "%rN" or an immediate.
+func (p *parser) value(tok string) (Value, int, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "%r") {
+		r, err := strconv.Atoi(tok[2:])
+		if err != nil || r < 0 {
+			return Value{}, -1, p.errf("bad register %q", tok)
+		}
+		return R(r), r, nil
+	}
+	v, err := strconv.ParseUint(tok, 0, 64)
+	if err != nil {
+		return Value{}, -1, p.errf("bad immediate %q", tok)
+	}
+	return Imm(v), -1, nil
+}
+
+// dst parses "%rN" on the left of '='.
+func (p *parser) dst(tok string) (int, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "%r") {
+		return 0, p.errf("bad destination %q", tok)
+	}
+	r, err := strconv.Atoi(tok[2:])
+	if err != nil || r < 0 {
+		return 0, p.errf("bad destination %q", tok)
+	}
+	return r, nil
+}
+
+var binOps = map[string]Opcode{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "and": OpAnd, "or": OpOr,
+	"xor": OpXor, "shl": OpShl, "shr": OpShr, "cmpeq": OpCmpEQ,
+	"cmpne": OpCmpNE, "cmplt": OpCmpLT, "cmpge": OpCmpGE,
+}
+
+// instr parses one formatted instruction line; hi is the highest
+// register index referenced (for NRegs recovery).
+func (p *parser) instr(line string) (Instr, int, error) {
+	hi := -1
+	track := func(r int) {
+		if r > hi {
+			hi = r
+		}
+	}
+	val := func(tok string) (Value, error) {
+		v, r, err := p.value(tok)
+		track(r)
+		return v, err
+	}
+	fail := func(msg string) (Instr, int, error) {
+		return Instr{}, hi, p.errf("%s: %q", msg, line)
+	}
+
+	// Destination form: "%rN = rhs".
+	if strings.HasPrefix(line, "%r") {
+		eq := strings.Index(line, " = ")
+		if eq < 0 {
+			return fail("missing '='")
+		}
+		d, err := p.dst(line[:eq])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		track(d)
+		rhs := strings.TrimSpace(line[eq+3:])
+		op, rest, _ := strings.Cut(rhs, " ")
+		switch {
+		case op == "const":
+			v, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 64)
+			if err != nil {
+				return fail("bad const")
+			}
+			return Instr{Op: OpConst, Dst: d, Imm: v}, hi, nil
+		case op == "mov", op == "maskghost":
+			a, err := val(rest)
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			o := OpMov
+			if op == "maskghost" {
+				o = OpMaskGhost
+			}
+			return Instr{Op: o, Dst: d, A: a}, hi, nil
+		case binOps[op] != 0 || op == "add":
+			parts := strings.SplitN(rest, ",", 2)
+			if len(parts) != 2 {
+				return fail("binop wants two operands")
+			}
+			a, err := val(parts[0])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			b, err := val(parts[1])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: binOps[op], Dst: d, A: a, B: b}, hi, nil
+		case op == "select":
+			parts := strings.SplitN(rest, ",", 3)
+			if len(parts) != 3 {
+				return fail("select wants three operands")
+			}
+			a, err := val(parts[0])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			b, err := val(parts[1])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			c, err := val(parts[2])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: OpSelect, Dst: d, A: a, B: b, C: c}, hi, nil
+		case strings.HasPrefix(op, "load"):
+			size, err := strconv.Atoi(strings.TrimPrefix(op, "load"))
+			if err != nil {
+				return fail("bad load size")
+			}
+			inner := strings.TrimSpace(rest)
+			if !strings.HasPrefix(inner, "[") || !strings.HasSuffix(inner, "]") {
+				return fail("load wants [addr]")
+			}
+			a, err := val(inner[1 : len(inner)-1])
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: OpLoad, Dst: d, A: a, Size: size}, hi, nil
+		case op == "portin":
+			a, err := val(rest)
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: OpPortIn, Dst: d, A: a}, hi, nil
+		case op == "funcaddr":
+			return Instr{Op: OpFuncAddr, Dst: d, Sym: strings.TrimSpace(rest)}, hi, nil
+		case op == "call":
+			sym, args, err := p.callArgs(rest, val)
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			return Instr{Op: OpCall, Dst: d, Sym: sym, Args: args}, hi, nil
+		case op == "callind", op == "cfi.callind":
+			target, args, err := p.callArgs(rest, val)
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			t, err := val(target)
+			if err != nil {
+				return Instr{}, hi, err
+			}
+			o := OpCallInd
+			if op == "cfi.callind" {
+				o = OpCFICallInd
+			}
+			return Instr{Op: o, Dst: d, A: t, Args: args}, hi, nil
+		}
+		return fail("unknown rhs")
+	}
+
+	// Statement forms.
+	op, rest, _ := strings.Cut(line, " ")
+	switch op {
+	case "store1", "store2", "store4", "store8":
+		size, _ := strconv.Atoi(strings.TrimPrefix(op, "store"))
+		parts := strings.SplitN(rest, ",", 2)
+		if len(parts) != 2 {
+			return fail("store wants [addr], value")
+		}
+		addr := strings.TrimSpace(parts[0])
+		if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+			return fail("store wants [addr]")
+		}
+		a, err := val(addr[1 : len(addr)-1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		b, err := val(parts[1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: OpStore, A: a, B: b, Size: size}, hi, nil
+	case "memcpy":
+		parts := strings.SplitN(rest, ",", 3)
+		if len(parts) != 3 {
+			return fail("memcpy wants three operands")
+		}
+		trim := func(s string) string {
+			s = strings.TrimSpace(s)
+			s = strings.TrimPrefix(s, "[")
+			return strings.TrimSuffix(s, "]")
+		}
+		a, err := val(trim(parts[0]))
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		b, err := val(trim(parts[1]))
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		c, err := val(parts[2])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: OpMemcpy, A: a, B: b, C: c}, hi, nil
+	case "br":
+		return Instr{Op: OpBr, Blk1: strings.TrimSpace(rest)}, hi, nil
+	case "condbr":
+		parts := strings.SplitN(rest, ",", 3)
+		if len(parts) != 3 {
+			return fail("condbr wants cond, then, else")
+		}
+		a, err := val(parts[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: OpCondBr, A: a,
+			Blk1: strings.TrimSpace(parts[1]), Blk2: strings.TrimSpace(parts[2])}, hi, nil
+	case "ret", "cfi.ret":
+		a, err := val(rest)
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		o := OpRet
+		if op == "cfi.ret" {
+			o = OpCFIRet
+		}
+		return Instr{Op: o, A: a}, hi, nil
+	case "portout":
+		parts := strings.SplitN(rest, ",", 2)
+		if len(parts) != 2 {
+			return fail("portout wants port, value")
+		}
+		a, err := val(parts[0])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		b, err := val(parts[1])
+		if err != nil {
+			return Instr{}, hi, err
+		}
+		return Instr{Op: OpPortOut, A: a, B: b}, hi, nil
+	case "asm":
+		text, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fail("asm wants a quoted string")
+		}
+		return Instr{Op: OpAsm, Sym: text}, hi, nil
+	case "cfi.label":
+		v, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 64)
+		if err != nil {
+			return fail("bad label")
+		}
+		return Instr{Op: OpCFILabel, Imm: v}, hi, nil
+	}
+	return fail("unknown instruction")
+}
+
+// callArgs splits "sym(arg, arg)" or "%rN(arg, arg)", parsing the
+// arguments with val and returning the callee token.
+func (p *parser) callArgs(rest string, val func(string) (Value, error)) (string, []Value, error) {
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return "", nil, p.errf("malformed call %q", rest)
+	}
+	callee := strings.TrimSpace(rest[:open])
+	argText := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	var args []Value
+	if argText != "" {
+		for _, tok := range strings.Split(argText, ",") {
+			v, err := val(tok)
+			if err != nil {
+				return "", nil, err
+			}
+			args = append(args, v)
+		}
+	}
+	return callee, args, nil
+}

@@ -1,0 +1,98 @@
+package vir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a function as human-readable assembly-like text, for
+// debugging and for golden tests of the compiler passes.
+func Format(f *Function) string {
+	var sb strings.Builder
+	flags := ""
+	if f.Sandboxed {
+		flags += " sandboxed"
+	}
+	if f.Labeled {
+		flags += " labeled"
+	}
+	if f.Translated {
+		flags += " translated"
+	}
+	fmt.Fprintf(&sb, "func %s(%d params)%s {\n", f.Name, f.NParams, flags)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(formatInstr(in))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FormatModule renders every function in the module.
+func FormatModule(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteString(Format(f))
+	}
+	return sb.String()
+}
+
+func formatInstr(in Instr) string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%%r%d = const %#x", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("%%r%d = mov %s", in.Dst, in.A)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE:
+		return fmt.Sprintf("%%r%d = %v %s, %s", in.Dst, in.Op, in.A, in.B)
+	case OpSelect:
+		return fmt.Sprintf("%%r%d = select %s, %s, %s", in.Dst, in.A, in.B, in.C)
+	case OpLoad:
+		return fmt.Sprintf("%%r%d = load%d [%s]", in.Dst, in.Size, in.A)
+	case OpStore:
+		return fmt.Sprintf("store%d [%s], %s", in.Size, in.A, in.B)
+	case OpMemcpy:
+		return fmt.Sprintf("memcpy [%s], [%s], %s", in.A, in.B, in.C)
+	case OpBr:
+		return fmt.Sprintf("br %s", in.Blk1)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", in.A, in.Blk1, in.Blk2)
+	case OpCall:
+		return fmt.Sprintf("%%r%d = call %s(%s)", in.Dst, in.Sym, formatArgs(in.Args))
+	case OpCallInd:
+		return fmt.Sprintf("%%r%d = callind %s(%s)", in.Dst, in.A, formatArgs(in.Args))
+	case OpCFICallInd:
+		return fmt.Sprintf("%%r%d = cfi.callind %s(%s)", in.Dst, in.A, formatArgs(in.Args))
+	case OpRet:
+		return fmt.Sprintf("ret %s", in.A)
+	case OpCFIRet:
+		return fmt.Sprintf("cfi.ret %s", in.A)
+	case OpPortIn:
+		return fmt.Sprintf("%%r%d = portin %s", in.Dst, in.A)
+	case OpPortOut:
+		return fmt.Sprintf("portout %s, %s", in.A, in.B)
+	case OpAsm:
+		return fmt.Sprintf("asm %q", in.Sym)
+	case OpFuncAddr:
+		return fmt.Sprintf("%%r%d = funcaddr %s", in.Dst, in.Sym)
+	case OpMaskGhost:
+		return fmt.Sprintf("%%r%d = maskghost %s", in.Dst, in.A)
+	case OpCFILabel:
+		return fmt.Sprintf("cfi.label %#x", in.Imm)
+	}
+	return fmt.Sprintf("?%v", in.Op)
+}
+
+func formatArgs(args []Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,164 @@
+package vir
+
+import "fmt"
+
+// VerifyError describes a structurally invalid function.
+type VerifyError struct {
+	Fn    string
+	Block string
+	Idx   int
+	Msg   string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("vir: %s/%s[%d]: %s", e.Fn, e.Block, e.Idx, e.Msg)
+}
+
+// VerifyModule checks structural well-formedness of every function.
+func VerifyModule(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifyFunction(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyFunction checks that every block is non-empty and ends with a
+// terminator, that no terminator appears mid-block, that branch targets
+// exist, and that register operands are in range.
+func VerifyFunction(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return &VerifyError{Fn: f.Name, Msg: "function has no blocks"}
+	}
+	seen := make(map[string]bool)
+	for _, b := range f.Blocks {
+		if seen[b.Name] {
+			return &VerifyError{Fn: f.Name, Block: b.Name, Msg: "duplicate block name"}
+		}
+		seen[b.Name] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return &VerifyError{Fn: f.Name, Block: b.Name, Msg: "empty block"}
+		}
+		for i, in := range b.Instrs {
+			term := isTerminator(in.Op)
+			if term && i != len(b.Instrs)-1 {
+				return &VerifyError{Fn: f.Name, Block: b.Name, Idx: i, Msg: "terminator not at block end"}
+			}
+			if !term && i == len(b.Instrs)-1 {
+				return &VerifyError{Fn: f.Name, Block: b.Name, Idx: i,
+					Msg: fmt.Sprintf("block falls through (last op %v)", in.Op)}
+			}
+			if err := checkRegs(f, b, i, in); err != nil {
+				return err
+			}
+			switch in.Op {
+			case OpBr:
+				if f.FindBlock(in.Blk1) == nil {
+					return &VerifyError{Fn: f.Name, Block: b.Name, Idx: i,
+						Msg: fmt.Sprintf("branch to unknown block %q", in.Blk1)}
+				}
+			case OpCondBr:
+				for _, t := range []string{in.Blk1, in.Blk2} {
+					if f.FindBlock(t) == nil {
+						return &VerifyError{Fn: f.Name, Block: b.Name, Idx: i,
+							Msg: fmt.Sprintf("branch to unknown block %q", t)}
+					}
+				}
+			case OpLoad, OpStore:
+				switch in.Size {
+				case 1, 2, 4, 8:
+				default:
+					return &VerifyError{Fn: f.Name, Block: b.Name, Idx: i,
+						Msg: fmt.Sprintf("bad access size %d", in.Size)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isTerminator(op Opcode) bool {
+	switch op {
+	case OpBr, OpCondBr, OpRet, OpCFIRet:
+		return true
+	}
+	return false
+}
+
+func checkRegs(f *Function, b *Block, idx int, in Instr) error {
+	bad := func(what string, r int) error {
+		return &VerifyError{Fn: f.Name, Block: b.Name, Idx: idx,
+			Msg: fmt.Sprintf("%s register %%r%d out of range (NRegs=%d)", what, r, f.NRegs)}
+	}
+	check := func(v Value) error {
+		if !v.IsImm && (v.Reg < 0 || v.Reg >= f.NRegs) {
+			return bad("source", v.Reg)
+		}
+		return nil
+	}
+	if hasDst(in.Op) && (in.Dst < 0 || in.Dst >= f.NRegs) {
+		return bad("destination", in.Dst)
+	}
+	useA, useB, useC := operandUse(in.Op)
+	if useA {
+		if err := check(in.A); err != nil {
+			return err
+		}
+	}
+	if useB {
+		if err := check(in.B); err != nil {
+			return err
+		}
+	}
+	if useC {
+		if err := check(in.C); err != nil {
+			return err
+		}
+	}
+	for _, v := range in.Args {
+		if err := check(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// operandUse reports which of the A/B/C operand slots an opcode reads.
+func operandUse(op Opcode) (a, b, c bool) {
+	switch op {
+	case OpMov, OpLoad, OpCondBr, OpRet, OpCFIRet, OpPortIn,
+		OpMaskGhost, OpCallInd, OpCFICallInd:
+		return true, false, false
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpStore, OpPortOut:
+		return true, true, false
+	case OpSelect, OpMemcpy:
+		return true, true, true
+	}
+	return false, false, false
+}
+
+func hasDst(op Opcode) bool {
+	switch op {
+	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
+		OpLoad, OpCall, OpCallInd, OpCFICallInd, OpPortIn,
+		OpFuncAddr, OpMaskGhost:
+		return true
+	}
+	return false
+}
+
+// HasAsm reports whether the module contains inline assembly anywhere.
+// The trusted translator refuses such modules.
+func HasAsm(m *Module) bool {
+	for _, f := range m.Funcs {
+		if f.CountOps(OpAsm) > 0 {
+			return true
+		}
+	}
+	return false
+}
