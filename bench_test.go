@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/apps/lmbench"
 	"repro/internal/apps/postmark"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 )
 
@@ -129,6 +131,76 @@ func sizeTag(n int) string {
 		return "10k"
 	}
 	return "other"
+}
+
+// --- simulator fast-path benches (host time, not virtual time) ---------
+
+// benchFrames is a FrameSource over raw machine memory.
+type benchFrames struct{ m *hw.Memory }
+
+func (s benchFrames) GetFrame() (hw.Frame, error) { return s.m.AllocFrame(hw.FrameUserData) }
+func (s benchFrames) PutFrame(f hw.Frame)         { _ = s.m.FreeFrame(f) }
+
+// benchHAL boots a native HAL with npages user pages mapped at base.
+func benchHAL(b *testing.B, npages int) (*core.NativeHAL, hw.Frame, hw.Virt) {
+	b.Helper()
+	m := hw.NewMachine(hw.MachineConfig{MemFrames: 2048, DiskBlocks: 64, Seed: 1})
+	h, err := core.NewNativeHAL(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.RegisterFrameSource(benchFrames{m: m.Mem})
+	h.RegisterTrapHandler(func(ic core.IContext, kind hw.TrapKind, info uint64) {})
+	root, err := h.NewAddressSpace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := hw.Virt(0x400000)
+	for i := 0; i < npages; i++ {
+		f, err := m.Mem.AllocFrame(hw.FrameUserData)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.MapPage(root, base+hw.Virt(i*hw.PageSize), f, hw.PTEUser|hw.PTEWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h, root, base
+}
+
+// BenchmarkWalkCache measures the host cost of translated kernel loads
+// hitting the (root, page)-keyed walk cache — the hot path under every
+// instrumented KLoad/KStore/Copyin in the evaluation harness.
+func BenchmarkWalkCache(b *testing.B) {
+	h, root, base := benchHAL(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := base + hw.Virt((i%8)*hw.PageSize) + hw.Virt(i%512*8)
+		if _, err := h.KLoad(root, va, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCopyinCopyout measures bulk user<->kernel copies through the
+// page-granular fast paths (ReadPhysInto/WritePhys + walk cache).
+func BenchmarkCopyinCopyout(b *testing.B) {
+	h, root, base := benchHAL(b, 8)
+	buf := make([]byte, 4*hw.PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	va := base + 123 // unaligned, so chunks straddle page boundaries
+	b.SetBytes(int64(2 * len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Copyout(root, va, buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Copyin(root, va, len(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- ablation benches (DESIGN.md design choices) -----------------------

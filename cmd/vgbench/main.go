@@ -1,12 +1,15 @@
 // Command vgbench regenerates every table and figure of the paper's
 // evaluation (§8) plus the §7 security matrix, printing measured values
-// beside the paper's. Run with -quick for a fast pass.
+// beside the paper's. Run with -quick for a fast pass. -json records
+// the run as BENCH_<date>.json (virtual overheads + host ns per
+// experiment) so the perf trajectory is machine-readable across PRs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -15,11 +18,14 @@ func main() {
 	quick := flag.Bool("quick", false, "use small iteration counts")
 	only := flag.String("only", "", "run a single experiment: t2|t3|t4|t5|f2|f3|f4|sec")
 	csvDir := flag.String("csv", "", "also write machine-readable results to this directory")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<date>.json with overheads and host ns per experiment")
 	flag.Parse()
 
 	sc := experiments.FullScale()
+	scaleName := "full"
 	if *quick {
 		sc = experiments.QuickScale()
+		scaleName = "quick"
 	}
 
 	run := func(name string) bool { return *only == "" || *only == name }
@@ -30,68 +36,169 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	report := experiments.BenchReport{
+		Date:  time.Now().Format("2006-01-02"),
+		Scale: scaleName,
+	}
+	record := func(name string, hostNs int64, metrics map[string]float64) {
+		report.Entries = append(report.Entries, experiments.BenchEntry{
+			Name: name, HostNs: hostNs, Metrics: metrics,
+		})
+	}
+
 	if run("t2") {
+		start := time.Now()
 		rows := experiments.Table2(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatTable2(rows))
 		if *csvDir != "" {
 			export(experiments.ExportTable2(*csvDir, rows))
 		}
+		metrics := make(map[string]float64, len(rows))
+		for _, r := range rows {
+			metrics[metricKey(r.Test)+"_x"] = r.Overhead
+		}
+		record("table2_lmbench", ns, metrics)
 	}
 	if run("t3") {
+		start := time.Now()
 		rows := experiments.Table3(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatFileRates("Table 3. Files deleted per second", rows))
 		if *csvDir != "" {
 			export(experiments.ExportFileRates(*csvDir, "table3", rows))
 		}
+		metrics := make(map[string]float64, len(rows))
+		for _, r := range rows {
+			metrics[fmt.Sprintf("delete_%db_x", r.SizeBytes)] = r.Overhead
+		}
+		record("table3_file_delete", ns, metrics)
 	}
 	if run("t4") {
+		start := time.Now()
 		rows := experiments.Table4(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatFileRates("Table 4. Files created per second", rows))
 		if *csvDir != "" {
 			export(experiments.ExportFileRates(*csvDir, "table4", rows))
 		}
+		metrics := make(map[string]float64, len(rows))
+		for _, r := range rows {
+			metrics[fmt.Sprintf("create_%db_x", r.SizeBytes)] = r.Overhead
+		}
+		record("table4_file_create", ns, metrics)
 	}
 	if run("f2") {
+		start := time.Now()
 		pts := experiments.Figure2(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatSeries("Figure 2. thttpd bandwidth (native vs Virtual Ghost kernel)",
 			pts, "native", "vghost"))
 		if *csvDir != "" {
 			export(experiments.ExportSeries(*csvDir, "figure2", pts))
 		}
+		record("figure2_thttpd", ns, seriesMetrics(pts))
 	}
 	if run("f3") {
+		start := time.Now()
 		pts := experiments.Figure3(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatSeries("Figure 3. sshd transfer rate (native vs Virtual Ghost kernel)",
 			pts, "native", "vghost"))
 		if *csvDir != "" {
 			export(experiments.ExportSeries(*csvDir, "figure3", pts))
 		}
+		record("figure3_sshd", ns, seriesMetrics(pts))
 	}
 	if run("f4") {
+		start := time.Now()
 		pts := experiments.Figure4(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatSeries("Figure 4. ssh client transfer rate on Virtual Ghost (original vs ghosting)",
 			pts, "original", "ghosting"))
 		if *csvDir != "" {
 			export(experiments.ExportSeries(*csvDir, "figure4", pts))
 		}
+		record("figure4_ghosting_ssh", ns, seriesMetrics(pts))
 	}
 	if run("t5") {
+		start := time.Now()
 		res := experiments.Table5(sc)
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatTable5(res, sc.PostmarkTxns))
 		if *csvDir != "" {
 			export(experiments.ExportTable5(*csvDir, res, sc.PostmarkTxns))
 		}
+		record("table5_postmark", ns, map[string]float64{"postmark_x": res.Overhead})
 	}
 	if run("sec") {
+		start := time.Now()
 		rows := experiments.SecurityMatrix()
+		ns := time.Since(start).Nanoseconds()
 		fmt.Println(experiments.FormatSecurity(rows))
 		if *csvDir != "" {
 			export(experiments.ExportSecurity(*csvDir, rows))
 		}
+		defended := 0
+		for _, r := range rows {
+			if r.Defended {
+				defended++
+			}
+		}
+		record("security_matrix", ns, map[string]float64{
+			"attacks":  float64(len(rows)),
+			"defended": float64(defended),
+		})
 	}
 	if *only != "" && !map[string]bool{"t2": true, "t3": true, "t4": true, "t5": true,
 		"f2": true, "f3": true, "f4": true, "sec": true}[*only] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+
+	if *jsonOut {
+		path := "BENCH_" + report.Date + ".json"
+		if err := experiments.WriteBenchJSON(path, report); err != nil {
+			fmt.Fprintf(os.Stderr, "json export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// metricKey turns a human-readable test name into a snake_case metric
+// key ("fork + exec" -> "fork_exec").
+func metricKey(name string) string {
+	var b []byte
+	lastUnderscore := true
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b = append(b, byte(c))
+			lastUnderscore = false
+		case c >= 'A' && c <= 'Z':
+			b = append(b, byte(c-'A'+'a'))
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b = append(b, '_')
+				lastUnderscore = true
+			}
+		}
+	}
+	for len(b) > 0 && b[len(b)-1] == '_' {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// seriesMetrics summarizes a bandwidth sweep by its end points.
+func seriesMetrics(pts []experiments.BandwidthPoint) map[string]float64 {
+	m := make(map[string]float64, 2)
+	if len(pts) > 0 {
+		m[fmt.Sprintf("ratio_%db", pts[0].SizeBytes)] = pts[0].Ratio
+		m[fmt.Sprintf("ratio_%db", pts[len(pts)-1].SizeBytes)] = pts[len(pts)-1].Ratio
+	}
+	return m
 }

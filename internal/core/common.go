@@ -126,19 +126,17 @@ func (h *halCommon) getFrame() (hw.Frame, error) {
 // another process's address space). Supervisor accesses ignore the
 // user bit but honour write protection.
 func (h *halCommon) translateIn(root hw.Frame, va hw.Virt, acc hw.Access) (hw.Phys, error) {
+	// This models a *software* walk: the target address space is
+	// usually not the one loaded in CR3, so the hardware TLB cannot
+	// serve it and every call pays the full walk cost. The walk cache
+	// consulted by CachedLeaf is a host-side structure only; charging
+	// is identical whether it hits or misses.
 	h.m.Clock.Advance(hw.CostPTWalk)
-	table, idx, ok, err := h.m.MMU.WalkLeaf(root, va)
+	e, ok, err := h.m.MMU.CachedLeaf(root, va)
 	if err != nil {
 		return 0, err
 	}
 	if !ok {
-		return 0, &hw.Fault{VA: va, Acc: acc, Reason: hw.ErrNotMapped.Error()}
-	}
-	e, err := h.m.MMU.ReadPTE(table, idx)
-	if err != nil {
-		return 0, err
-	}
-	if !e.Present() {
 		return 0, &hw.Fault{VA: va, Acc: acc, Reason: hw.ErrNotMapped.Error()}
 	}
 	if acc == hw.AccWrite && !e.Writable() {
@@ -184,6 +182,7 @@ func (h *halCommon) rawMap(root hw.Frame, va hw.Virt, f hw.Frame, flags uint64,
 	}
 	h.m.Mem.AddRef(f)
 	h.m.MMU.InvalidatePage(va)
+	h.m.MMU.InvalidatePageIn(root, va)
 	return nil
 }
 
@@ -208,6 +207,7 @@ func (h *halCommon) rawUnmap(root hw.Frame, va hw.Virt) error {
 	}
 	h.m.Mem.DropRef(old.Frame())
 	h.m.MMU.InvalidatePage(va)
+	h.m.MMU.InvalidatePageIn(root, va)
 	return nil
 }
 

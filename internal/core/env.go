@@ -23,7 +23,7 @@ type moduleEnv struct {
 	// scratch, when non-nil (Virtual Ghost), backs kernel-space
 	// addresses (the direct-map model); natively kernel-space accesses
 	// use the same scratch owned by the kernel via its HAL.
-	scratch map[hw.Virt]byte
+	scratch *scratchMem
 	// checkedPorts, when non-nil, routes port I/O through the VM's
 	// policy checks.
 	vm *VM
@@ -39,7 +39,7 @@ func (vm *VM) ModuleEnv(root hw.Frame, intrinsics IntrinsicFunc) vir.Env {
 // on the native configuration.
 func (h *NativeHAL) ModuleEnv(root hw.Frame, intrinsics IntrinsicFunc) vir.Env {
 	if h.scratch == nil {
-		h.scratch = make(map[hw.Virt]byte)
+		h.scratch = newScratchMem()
 	}
 	return &moduleEnv{h: &h.halCommon, root: root, intrinsics: intrinsics, scratch: h.scratch}
 }
@@ -49,40 +49,26 @@ func (e *moduleEnv) Clock() *hw.Clock { return e.h.m.Clock }
 func (e *moduleEnv) Load(addr hw.Virt, size int) (uint64, error) {
 	e.h.m.Clock.Advance(hw.CostMemAccess)
 	if hw.IsKernel(addr) {
-		var v uint64
-		for i := size - 1; i >= 0; i-- {
-			v = v<<8 | uint64(e.scratch[addr+hw.Virt(i)])
-		}
-		return v, nil
+		return e.scratch.load(addr, size), nil
 	}
 	p, err := e.h.translateIn(e.root, addr, hw.AccRead)
 	if err != nil {
 		return 0, err
 	}
-	b, err := e.h.m.Mem.ReadPhys(p, size)
-	if err != nil {
-		return 0, err
-	}
-	return leBytes(b), nil
+	return e.h.m.Mem.ReadLE(p, size)
 }
 
 func (e *moduleEnv) Store(addr hw.Virt, size int, v uint64) error {
 	e.h.m.Clock.Advance(hw.CostMemAccess)
 	if hw.IsKernel(addr) {
-		for i := 0; i < size; i++ {
-			e.scratch[addr+hw.Virt(i)] = byte(v >> (8 * i))
-		}
+		e.scratch.store(addr, size, v)
 		return nil
 	}
 	p, err := e.h.translateIn(e.root, addr, hw.AccWrite)
 	if err != nil {
 		return err
 	}
-	b := make([]byte, size)
-	for i := range b {
-		b[i] = byte(v >> (8 * i))
-	}
-	return e.h.m.Mem.WritePhys(p, b)
+	return e.h.m.Mem.WriteLE(p, size, v)
 }
 
 func (e *moduleEnv) Memcpy(dst, src hw.Virt, n int) error {

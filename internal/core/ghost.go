@@ -169,7 +169,7 @@ func swapHeader(va hw.Virt) []byte {
 // and releases the frame back to the OS. The VM records the blob digest
 // so that swap-in rejects corruption *and replay of stale versions* (an
 // extension beyond the prototype, which left swap unimplemented — see
-// DESIGN.md §8).
+// DESIGN.md §9).
 func (vm *VM) SwapOutGhost(t ThreadID, va hw.Virt) ([]byte, error) {
 	if vm.legacy {
 		return nil, ErrNotImplementedLegacy

@@ -20,7 +20,7 @@ type NativeHAL struct {
 	appKeys map[ThreadID][]byte
 	// scratch backs kernel-space addresses touched by module code (the
 	// direct-map model shared with moduleEnv).
-	scratch map[hw.Virt]byte
+	scratch *scratchMem
 }
 
 // NewNativeHAL boots the baseline HAL on a machine.
@@ -406,11 +406,7 @@ func (h *NativeHAL) KLoad(rootF hw.Frame, va hw.Virt, size int) (uint64, error) 
 	if err != nil {
 		return 0, err
 	}
-	b, err := h.m.Mem.ReadPhys(p, size)
-	if err != nil {
-		return 0, err
-	}
-	return leBytes(b), nil
+	return h.m.Mem.ReadLE(p, size)
 }
 
 // KStore writes exactly where the MMU maps.
@@ -420,28 +416,24 @@ func (h *NativeHAL) KStore(rootF hw.Frame, va hw.Virt, size int, v uint64) error
 	if err != nil {
 		return err
 	}
-	b := make([]byte, size)
-	for i := range b {
-		b[i] = byte(v >> (8 * i))
-	}
-	return h.m.Mem.WritePhys(p, b)
+	return h.m.Mem.WriteLE(p, size, v)
 }
 
 // Copyin copies from user space without masking.
 func (h *NativeHAL) Copyin(rootF hw.Frame, va hw.Virt, n int) ([]byte, error) {
 	h.BlockCopyCost(n)
-	out := make([]byte, 0, n)
+	out := make([]byte, n)
+	pos := 0
 	for n > 0 {
-		chunk := minInt(n, int(hw.PageSize-(va&(hw.PageSize-1))))
+		chunk := min(n, int(hw.PageSize-(va&(hw.PageSize-1))))
 		p, err := h.translateIn(rootF, va, hw.AccRead)
 		if err != nil {
 			return nil, err
 		}
-		b, err := h.m.Mem.ReadPhys(p, chunk)
-		if err != nil {
+		if err := h.m.Mem.ReadPhysInto(p, out[pos:pos+chunk]); err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
+		pos += chunk
 		va += hw.Virt(chunk)
 		n -= chunk
 	}
@@ -452,7 +444,7 @@ func (h *NativeHAL) Copyin(rootF hw.Frame, va hw.Virt, n int) ([]byte, error) {
 func (h *NativeHAL) Copyout(rootF hw.Frame, va hw.Virt, b []byte) error {
 	h.BlockCopyCost(len(b))
 	for len(b) > 0 {
-		chunk := minInt(len(b), int(hw.PageSize-(va&(hw.PageSize-1))))
+		chunk := min(len(b), int(hw.PageSize-(va&(hw.PageSize-1))))
 		p, err := h.translateIn(rootF, va, hw.AccWrite)
 		if err != nil {
 			return err

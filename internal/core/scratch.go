@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/hw"
+
+// scratchMem models the kernel direct map that sandbox-masked addresses
+// land in: reads of never-written locations return zero. Backing is
+// page-granular so bulk operations (Copyin/Copyout, Memcpy) are single
+// copies rather than one map probe per byte.
+type scratchMem struct {
+	pages map[hw.Virt]*[hw.PageSize]byte
+}
+
+func newScratchMem() *scratchMem {
+	return &scratchMem{pages: make(map[hw.Virt]*[hw.PageSize]byte)}
+}
+
+// page returns the backing page containing va, or nil if untouched.
+func (s *scratchMem) page(va hw.Virt) *[hw.PageSize]byte {
+	return s.pages[hw.PageOf(va)]
+}
+
+// ensure returns the backing page containing va, allocating on first
+// write.
+func (s *scratchMem) ensure(va hw.Virt) *[hw.PageSize]byte {
+	base := hw.PageOf(va)
+	pg := s.pages[base]
+	if pg == nil {
+		pg = new([hw.PageSize]byte)
+		s.pages[base] = pg
+	}
+	return pg
+}
+
+// load reads a little-endian scalar of size bytes (1..8) at va.
+func (s *scratchMem) load(va hw.Virt, size int) uint64 {
+	off := int(va & (hw.PageSize - 1))
+	if off+size <= hw.PageSize {
+		pg := s.page(va)
+		if pg == nil {
+			return 0
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(pg[off+i])
+		}
+		return v
+	}
+	var buf [8]byte
+	s.read(va, buf[:size])
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// store writes a little-endian scalar of size bytes (1..8) at va.
+func (s *scratchMem) store(va hw.Virt, size int, v uint64) {
+	off := int(va & (hw.PageSize - 1))
+	if off+size <= hw.PageSize {
+		pg := s.ensure(va)
+		for i := 0; i < size; i++ {
+			pg[off+i] = byte(v >> (8 * i))
+		}
+		return
+	}
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	s.write(va, buf[:size])
+}
+
+// read bulk-copies len(dst) bytes starting at va into dst, zero-filling
+// ranges that were never written.
+func (s *scratchMem) read(va hw.Virt, dst []byte) {
+	for len(dst) > 0 {
+		off := int(va & (hw.PageSize - 1))
+		n := min(len(dst), hw.PageSize-off)
+		if pg := s.page(va); pg != nil {
+			copy(dst[:n], pg[off:off+n])
+		} else {
+			clear(dst[:n])
+		}
+		va += hw.Virt(n)
+		dst = dst[n:]
+	}
+}
+
+// write bulk-copies src into the scratch map starting at va.
+func (s *scratchMem) write(va hw.Virt, src []byte) {
+	for len(src) > 0 {
+		off := int(va & (hw.PageSize - 1))
+		n := min(len(src), hw.PageSize-off)
+		copy(s.ensure(va)[off:], src[:n])
+		va += hw.Virt(n)
+		src = src[n:]
+	}
+}

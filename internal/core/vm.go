@@ -49,7 +49,7 @@ type VM struct {
 	keys *keyChain
 	// scratch models the kernel direct map that sandbox-masked
 	// addresses land in: reads of never-written locations return zero.
-	scratch map[hw.Virt]byte
+	scratch *scratchMem
 	// swapNonces provides unique nonces for ghost-page swap sealing.
 	swapCounter uint64
 	// iommuLatch mirrors the IOMMU's frame latch so port writes can be
@@ -76,7 +76,7 @@ type VMOptions struct {
 	// 128-bit-AES-style application key stands in, as the prototype
 	// hard-coded one into SVA-OS), no ghost-memory swapping, and no
 	// DMA/IOMMU protections. The full implementation (the default)
-	// provides all three — see DESIGN.md section 8.
+	// provides all three — see DESIGN.md section 9.
 	LegacyPrototype bool
 }
 
@@ -101,7 +101,7 @@ func NewVMWithOptions(m *hw.Machine, opts VMOptions) (*VM, error) {
 		halCommon:    newHALCommon(m, compiler.VirtualGhostOptions()),
 		keys:         newKeyChain(seed),
 		legacy:       opts.LegacyPrototype,
-		scratch:      make(map[hw.Virt]byte),
+		scratch:      newScratchMem(),
 		translations: make(map[string]*compiler.Translation),
 	}
 	// Reserve frames for VM internal memory so the frame-type ground
@@ -312,11 +312,7 @@ func (vm *VM) KLoad(root hw.Frame, va hw.Virt, size int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	b, err := vm.m.Mem.ReadPhys(p, size)
-	if err != nil {
-		return 0, err
-	}
-	return leBytes(b), nil
+	return vm.m.Mem.ReadLE(p, size)
 }
 
 // KStore performs an instrumented kernel store.
@@ -331,11 +327,7 @@ func (vm *VM) KStore(root hw.Frame, va hw.Virt, size int, v uint64) error {
 	if err != nil {
 		return err
 	}
-	b := make([]byte, size)
-	for i := range b {
-		b[i] = byte(v >> (8 * i))
-	}
-	return vm.m.Mem.WritePhys(p, b)
+	return vm.m.Mem.WriteLE(p, size, v)
 }
 
 // Copyin copies n bytes from user space into the kernel (instrumented
@@ -343,27 +335,26 @@ func (vm *VM) KStore(root hw.Frame, va hw.Virt, size int, v uint64) error {
 func (vm *VM) Copyin(root hw.Frame, va hw.Virt, n int) ([]byte, error) {
 	vm.BlockCopyCost(n)
 	va = hw.Virt(vir.MaskAddress(uint64(va)))
-	out := make([]byte, 0, n)
+	out := make([]byte, n)
+	pos := 0
 	for n > 0 {
 		if hw.IsKernel(va) {
-			chunk := minInt(n, hw.PageSize)
-			for i := 0; i < chunk; i++ {
-				out = append(out, vm.scratch[va+hw.Virt(i)])
-			}
+			chunk := min(n, hw.PageSize)
+			vm.scratch.read(va, out[pos:pos+chunk])
+			pos += chunk
 			va += hw.Virt(chunk)
 			n -= chunk
 			continue
 		}
-		chunk := minInt(n, int(hw.PageSize-(va&(hw.PageSize-1))))
+		chunk := min(n, int(hw.PageSize-(va&(hw.PageSize-1))))
 		p, err := vm.translateIn(root, va, hw.AccRead)
 		if err != nil {
 			return nil, err
 		}
-		b, err := vm.m.Mem.ReadPhys(p, chunk)
-		if err != nil {
+		if err := vm.m.Mem.ReadPhysInto(p, out[pos:pos+chunk]); err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
+		pos += chunk
 		va += hw.Virt(chunk)
 		n -= chunk
 	}
@@ -376,15 +367,13 @@ func (vm *VM) Copyout(root hw.Frame, va hw.Virt, b []byte) error {
 	va = hw.Virt(vir.MaskAddress(uint64(va)))
 	for len(b) > 0 {
 		if hw.IsKernel(va) {
-			chunk := minInt(len(b), hw.PageSize)
-			for i := 0; i < chunk; i++ {
-				vm.scratch[va+hw.Virt(i)] = b[i]
-			}
+			chunk := min(len(b), hw.PageSize)
+			vm.scratch.write(va, b[:chunk])
 			va += hw.Virt(chunk)
 			b = b[chunk:]
 			continue
 		}
-		chunk := minInt(len(b), int(hw.PageSize-(va&(hw.PageSize-1))))
+		chunk := min(len(b), int(hw.PageSize-(va&(hw.PageSize-1))))
 		p, err := vm.translateIn(root, va, hw.AccWrite)
 		if err != nil {
 			return err
@@ -399,17 +388,11 @@ func (vm *VM) Copyout(root hw.Frame, va hw.Virt, b []byte) error {
 }
 
 func (vm *VM) scratchLoad(va hw.Virt, size int) uint64 {
-	var v uint64
-	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(vm.scratch[va+hw.Virt(i)])
-	}
-	return v
+	return vm.scratch.load(va, size)
 }
 
 func (vm *VM) scratchStore(va hw.Virt, size int, v uint64) {
-	for i := 0; i < size; i++ {
-		vm.scratch[va+hw.Virt(i)] = byte(v >> (8 * i))
-	}
+	vm.scratch.store(va, size, v)
 }
 
 // --- checked I/O ------------------------------------------------------
@@ -520,21 +503,6 @@ func (ins *Installer) Install(name string, image []byte, appKey []byte) (*Binary
 	b := &Binary{Name: name, Image: append([]byte(nil), image...), KeySection: section}
 	ins.keys.signBinary(b)
 	return b, nil
-}
-
-func leBytes(b []byte) uint64 {
-	var v uint64
-	for i := len(b) - 1; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
-	}
-	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 var _ HAL = (*VM)(nil)

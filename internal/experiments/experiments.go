@@ -87,11 +87,11 @@ func Table2(sc Scale) []T2Row {
 		{"null syscall", func(k *kernel.Kernel) float64 { return lmbench.NullSyscall(k, iters*4) }},
 		{"open/close", func(k *kernel.Kernel) float64 { return lmbench.OpenClose(k, iters) }},
 		{"mmap", func(k *kernel.Kernel) float64 { return lmbench.Mmap(k, iters) }},
-		{"page fault", func(k *kernel.Kernel) float64 { return lmbench.PageFault(k, minInt(iters, 200)) }},
+		{"page fault", func(k *kernel.Kernel) float64 { return lmbench.PageFault(k, min(iters, 200)) }},
 		{"signal handler install", func(k *kernel.Kernel) float64 { return lmbench.SigInstall(k, iters*2) }},
 		{"signal handler delivery", func(k *kernel.Kernel) float64 { return lmbench.SigDeliver(k, iters) }},
-		{"fork + exit", func(k *kernel.Kernel) float64 { return lmbench.ForkExit(k, maxInt(iters/10, 4)) }},
-		{"fork + exec", func(k *kernel.Kernel) float64 { return lmbench.ForkExec(k, maxInt(iters/10, 4)) }},
+		{"fork + exit", func(k *kernel.Kernel) float64 { return lmbench.ForkExit(k, max(iters/10, 4)) }},
+		{"fork + exec", func(k *kernel.Kernel) float64 { return lmbench.ForkExec(k, max(iters/10, 4)) }},
 		{"select", func(k *kernel.Kernel) float64 { return lmbench.Select(k, 64, iters) }},
 	}
 	rows := make([]T2Row, 0, len(benches))
@@ -264,18 +264,4 @@ func FormatSecurity(rows []SecurityRow) string {
 		fmt.Fprintf(&sb, "%-26s %-34s %-34s %v\n", r.Attack, r.NativeResult, r.VGResult, r.Defended)
 	}
 	return sb.String()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -92,6 +93,32 @@ func ExportSecurity(dir string, rows []SecurityRow) error {
 	}
 	return WriteCSV(dir, "security",
 		[]string{"attack", "native", "virtualghost", "defended"}, out)
+}
+
+// BenchEntry is one experiment's machine-readable result: the virtual
+// overhead metrics the paper reports plus the host wall-clock time the
+// simulator spent producing them.
+type BenchEntry struct {
+	Name    string             `json:"name"`
+	HostNs  int64              `json:"host_ns"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the cross-PR perf trajectory record written by
+// `vgbench -json` as BENCH_<date>.json.
+type BenchReport struct {
+	Date    string       `json:"date"`
+	Scale   string       `json:"scale"`
+	Entries []BenchEntry `json:"experiments"`
+}
+
+// WriteBenchJSON writes the report to path.
+func WriteBenchJSON(path string, r BenchReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func f3(v float64) string { return fmt.Sprintf("%.6g", v) }

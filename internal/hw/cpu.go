@@ -176,11 +176,7 @@ func (c *CPU) LoadVirt(v Virt, size int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	b, err := c.MMU.mem.ReadPhys(p, size)
-	if err != nil {
-		return 0, err
-	}
-	return getLE(b), nil
+	return c.MMU.mem.ReadLE(p, size)
 }
 
 // StoreVirt performs a data store of size bytes at virtual address v.
@@ -190,9 +186,7 @@ func (c *CPU) StoreVirt(v Virt, size int, val uint64) error {
 	if err != nil {
 		return err
 	}
-	b := make([]byte, size)
-	putLE(b, val)
-	return c.MMU.mem.WritePhys(p, b)
+	return c.MMU.mem.WriteLE(p, size, val)
 }
 
 // CopyToVirt copies a byte block into the virtual address space,
@@ -222,21 +216,18 @@ func (c *CPU) CopyToVirt(v Virt, b []byte) error {
 func (c *CPU) CopyFromVirt(v Virt, n int) ([]byte, error) {
 	c.Clock.Advance(CostMemAccess)
 	c.Clock.AdvanceBytes(n, CostBcopyPerByte)
-	out := make([]byte, 0, n)
+	out := make([]byte, n)
+	pos := 0
 	for n > 0 {
-		chunk := int(PageSize - (v & (PageSize - 1)))
-		if chunk > n {
-			chunk = n
-		}
+		chunk := min(n, int(PageSize-(v&(PageSize-1))))
 		p, err := c.MMU.Translate(v, AccRead, c.Regs.Priv == User)
 		if err != nil {
 			return nil, err
 		}
-		b, err := c.MMU.mem.ReadPhys(p, chunk)
-		if err != nil {
+		if err := c.MMU.mem.ReadPhysInto(p, out[pos:pos+chunk]); err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
+		pos += chunk
 		v += Virt(chunk)
 		n -= chunk
 	}

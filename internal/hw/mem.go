@@ -84,17 +84,31 @@ var ErrOutOfMemory = errors.New("hw: out of physical memory")
 // ErrBadPhys is returned for accesses outside physical memory.
 var ErrBadPhys = errors.New("hw: physical address out of range")
 
-// Memory is the machine's physical memory: a flat byte array divided
-// into frames, plus per-frame metadata. Frame metadata is the ground
-// truth that the SVA VM's run-time checks consult.
+// Memory is the machine's physical memory: per-frame byte storage plus
+// per-frame metadata. Frame metadata is the ground truth that the SVA
+// VM's run-time checks consult.
+//
+// Frame contents are allocated lazily on first write: a machine with
+// gigabytes of simulated RAM costs the host nothing until frames are
+// actually touched, and reads of never-written memory return zeros —
+// exactly what a flat pre-zeroed array would hold. This is purely a
+// host-side optimisation; nothing about the modeled hardware (or the
+// virtual clock) depends on it.
 type Memory struct {
-	bytes    []byte
+	pages    []*[PageSize]byte
 	ftype    []FrameType
 	refs     []uint16 // mapping reference counts, maintained by the MMU layer
 	free     []Frame  // free list (LIFO)
 	nframes  int
 	clock    *Clock
 	ioFrames map[Frame]MMIOHandler
+	// ptWatch, when set, is called with any FramePageTable frame whose
+	// contents may have changed through a physical write (stores,
+	// ZeroFrame, FrameBytes hand-out) or whose page-table role started
+	// or ended (SetType, FreeFrame). The MMU registers its walk-cache
+	// invalidator here so no software-cached translation can outlive a
+	// page-table mutation, however the mutation was performed.
+	ptWatch func(Frame)
 }
 
 // MMIOHandler receives loads and stores to a memory-mapped I/O frame.
@@ -106,7 +120,7 @@ type MMIOHandler interface {
 // NewMemory creates physical memory with the given number of frames.
 func NewMemory(nframes int, clock *Clock) *Memory {
 	m := &Memory{
-		bytes:    make([]byte, nframes*PageSize),
+		pages:    make([]*[PageSize]byte, nframes),
 		ftype:    make([]FrameType, nframes),
 		refs:     make([]uint16, nframes),
 		nframes:  nframes,
@@ -119,6 +133,33 @@ func NewMemory(nframes int, clock *Clock) *Memory {
 		m.free = append(m.free, Frame(f))
 	}
 	return m
+}
+
+// SetPTWatch registers the observer for physical mutations of declared
+// page-table frames. Only one observer is supported (the machine's MMU).
+func (m *Memory) SetPTWatch(fn func(Frame)) { m.ptWatch = fn }
+
+// notifyPT reports a possible content or role change of a page-table
+// frame to the registered observer.
+func (m *Memory) notifyPT(f Frame) {
+	if m.ptWatch != nil {
+		m.ptWatch(f)
+	}
+}
+
+// page returns the backing storage of frame f, or nil if the frame has
+// never been written (all-zero).
+func (m *Memory) page(f Frame) *[PageSize]byte { return m.pages[f] }
+
+// ensurePage returns the backing storage of frame f, allocating it on
+// first write.
+func (m *Memory) ensurePage(f Frame) *[PageSize]byte {
+	pg := m.pages[f]
+	if pg == nil {
+		pg = new([PageSize]byte)
+		m.pages[f] = pg
+	}
+	return pg
 }
 
 // NumFrames returns the number of physical frames.
@@ -151,6 +192,9 @@ func (m *Memory) FreeFrame(f Frame) error {
 	if m.refs[f] != 0 {
 		return fmt.Errorf("hw: freeing frame %d with %d live mappings", f, m.refs[f])
 	}
+	if m.ftype[f] == FramePageTable {
+		m.notifyPT(f)
+	}
 	m.ftype[f] = FrameFree
 	m.free = append(m.free, f)
 	return nil
@@ -169,6 +213,9 @@ func (m *Memory) TypeOf(f Frame) FrameType {
 func (m *Memory) SetType(f Frame, t FrameType) error {
 	if err := m.checkFrame(f); err != nil {
 		return err
+	}
+	if m.ftype[f] == FramePageTable || t == FramePageTable {
+		m.notifyPT(f)
 	}
 	m.ftype[f] = t
 	return nil
@@ -218,18 +265,36 @@ func (m *Memory) checkRange(p Phys, n int) error {
 // ReadPhys copies n bytes at physical address p into a fresh slice.
 // MMIO frames are routed to their device handler (size 1/2/4/8 only).
 func (m *Memory) ReadPhys(p Phys, n int) ([]byte, error) {
-	if err := m.checkRange(p, n); err != nil {
+	out := make([]byte, n)
+	if err := m.ReadPhysInto(p, out); err != nil {
 		return nil, err
 	}
-	if h, ok := m.ioFrames[FrameOf(p)]; ok {
-		v := h.MMIORead(uint32(p&(PageSize-1)), n)
-		buf := make([]byte, n)
-		putLE(buf, v)
-		return buf, nil
-	}
-	out := make([]byte, n)
-	copy(out, m.bytes[p:int(p)+n])
 	return out, nil
+}
+
+// ReadPhysInto copies len(buf) bytes at physical address p into buf
+// without allocating. MMIO frames are routed to their device handler.
+func (m *Memory) ReadPhysInto(p Phys, buf []byte) error {
+	if err := m.checkRange(p, len(buf)); err != nil {
+		return err
+	}
+	if h, ok := m.ioFrames[FrameOf(p)]; ok {
+		v := h.MMIORead(uint32(p&(PageSize-1)), len(buf))
+		putLE(buf, v)
+		return nil
+	}
+	for len(buf) > 0 {
+		off := int(p & (PageSize - 1))
+		n := min(len(buf), PageSize-off)
+		if pg := m.page(FrameOf(p)); pg != nil {
+			copy(buf[:n], pg[off:off+n])
+		} else {
+			clear(buf[:n])
+		}
+		p += Phys(n)
+		buf = buf[n:]
+	}
+	return nil
 }
 
 // WritePhys stores b at physical address p.
@@ -241,24 +306,89 @@ func (m *Memory) WritePhys(p Phys, b []byte) error {
 		h.MMIOWrite(uint32(p&(PageSize-1)), len(b), getLE(b))
 		return nil
 	}
-	copy(m.bytes[p:], b)
+	for len(b) > 0 {
+		f := FrameOf(p)
+		off := int(p & (PageSize - 1))
+		n := min(len(b), PageSize-off)
+		copy(m.ensurePage(f)[off:], b[:n])
+		if m.ftype[f] == FramePageTable {
+			m.notifyPT(f)
+		}
+		p += Phys(n)
+		b = b[n:]
+	}
 	return nil
+}
+
+// ReadLE loads a little-endian value of size bytes (1..8) at p without
+// allocating.
+func (m *Memory) ReadLE(p Phys, size int) (uint64, error) {
+	if size < 0 || size > 8 {
+		return 0, fmt.Errorf("hw: scalar read of %d bytes", size)
+	}
+	if err := m.checkRange(p, size); err != nil {
+		return 0, err
+	}
+	if h, ok := m.ioFrames[FrameOf(p)]; ok {
+		return h.MMIORead(uint32(p&(PageSize-1)), size), nil
+	}
+	off := int(p & (PageSize - 1))
+	if off+size <= PageSize {
+		pg := m.page(FrameOf(p))
+		if pg == nil {
+			return 0, nil
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(pg[off+i])
+		}
+		return v, nil
+	}
+	var buf [8]byte
+	if err := m.ReadPhysInto(p, buf[:size]); err != nil {
+		return 0, err
+	}
+	return getLE(buf[:size]), nil
+}
+
+// WriteLE stores a little-endian value of size bytes (1..8) at p
+// without allocating.
+func (m *Memory) WriteLE(p Phys, size int, v uint64) error {
+	if size < 0 || size > 8 {
+		return fmt.Errorf("hw: scalar write of %d bytes", size)
+	}
+	if err := m.checkRange(p, size); err != nil {
+		return err
+	}
+	f := FrameOf(p)
+	if h, ok := m.ioFrames[f]; ok {
+		h.MMIOWrite(uint32(p&(PageSize-1)), size, v)
+		return nil
+	}
+	off := int(p & (PageSize - 1))
+	if off+size <= PageSize {
+		pg := m.ensurePage(f)
+		for i := 0; i < size; i++ {
+			pg[off+i] = byte(v >> (8 * i))
+		}
+		if m.ftype[f] == FramePageTable {
+			m.notifyPT(f)
+		}
+		return nil
+	}
+	var buf [8]byte
+	putLE(buf[:size], v)
+	return m.WritePhys(p, buf[:size])
 }
 
 // Read64 loads a little-endian uint64 at p.
 func (m *Memory) Read64(p Phys) (uint64, error) {
-	b, err := m.ReadPhys(p, 8)
-	if err != nil {
-		return 0, err
-	}
-	return getLE(b), nil
+	return m.ReadLE(p, 8)
 }
 
 // Write64 stores a little-endian uint64 at p.
 func (m *Memory) Write64(p Phys, v uint64) error {
-	var b [8]byte
-	putLE(b[:], v)
-	return m.WritePhys(p, b[:])
+	return m.WriteLE(p, 8, v)
 }
 
 // ZeroFrame clears a frame's contents and charges the zeroing cost.
@@ -266,9 +396,11 @@ func (m *Memory) ZeroFrame(f Frame) error {
 	if err := m.checkFrame(f); err != nil {
 		return err
 	}
-	base := f.Addr()
-	for i := Phys(0); i < PageSize; i++ {
-		m.bytes[base+i] = 0
+	if pg := m.page(f); pg != nil {
+		clear(pg[:])
+	}
+	if m.ftype[f] == FramePageTable {
+		m.notifyPT(f)
 	}
 	if m.clock != nil {
 		m.clock.Advance(CostPageZero)
@@ -282,8 +414,12 @@ func (m *Memory) FrameBytes(f Frame) ([]byte, error) {
 	if err := m.checkFrame(f); err != nil {
 		return nil, err
 	}
-	base := int(f.Addr())
-	return m.bytes[base : base+PageSize], nil
+	// The caller may write through the returned slice; treat the
+	// hand-out as a potential mutation of a page-table frame.
+	if m.ftype[f] == FramePageTable {
+		m.notifyPT(f)
+	}
+	return m.ensurePage(f)[:], nil
 }
 
 func getLE(b []byte) uint64 {

@@ -121,11 +121,23 @@ var ErrNotMapped = errors.New("not mapped")
 // tables that live in simulated physical memory (FramePageTable frames),
 // exactly as the real hardware walker does. A per-root TLB caches leaf
 // translations; address-space switches flush it.
+//
+// Alongside the modeled TLB the MMU keeps a host-side *walk cache* of
+// completed software walks, keyed by (root, page) so it is valid across
+// address-space switches. It is a pure simulator speedup: users of
+// CachedLeaf charge virtual time as if they had walked the tables. Its
+// correctness contract is strict invalidation — every way a page-table
+// byte can change (RawWritePTE, raw physical stores, frame zero/free/
+// retype, explicit InvalidatePageIn) drops the affected entries, so a
+// cached translation can never outlive the mapping it describes.
 type MMU struct {
 	mem   *Memory
 	clock *Clock
 	root  Frame // current CR3 (root page-table frame); 0 = none
 	tlb   map[Virt]tlbEntry
+
+	walk     map[walkKey]walkEntry
+	walkDeps map[Frame]map[walkKey]struct{} // table frame -> entries whose walk traversed it
 }
 
 type tlbEntry struct {
@@ -133,9 +145,32 @@ type tlbEntry struct {
 	flags uint64
 }
 
+// walkKey identifies a cached software walk: the address space it was
+// performed in (root frame, standing in for CR3) and the page.
+type walkKey struct {
+	root Frame
+	page Virt
+}
+
+// walkEntry is a completed positive walk: the leaf PTE plus every
+// page-table frame the walk read, root included, for dependency-based
+// invalidation.
+type walkEntry struct {
+	pte    PTE
+	tables [ptLevels]Frame
+}
+
 // NewMMU creates an MMU over the given memory.
 func NewMMU(mem *Memory, clock *Clock) *MMU {
-	return &MMU{mem: mem, clock: clock, tlb: make(map[Virt]tlbEntry)}
+	u := &MMU{
+		mem:      mem,
+		clock:    clock,
+		tlb:      make(map[Virt]tlbEntry),
+		walk:     make(map[walkKey]walkEntry),
+		walkDeps: make(map[Frame]map[walkKey]struct{}),
+	}
+	mem.SetPTWatch(u.invalidateTableFrame)
+	return u
 }
 
 // Root returns the current root page-table frame (CR3).
@@ -247,7 +282,15 @@ func (u *MMU) RawWritePTE(table Frame, idx uint64, e PTE) error {
 	if idx >= ptEntries {
 		return fmt.Errorf("hw: PTE index %d out of range", idx)
 	}
-	return u.mem.Write64(table.Addr()+Phys(idx*8), uint64(e))
+	if err := u.mem.Write64(table.Addr()+Phys(idx*8), uint64(e)); err != nil {
+		return err
+	}
+	// Any cached walk that traversed this table may now be stale. This
+	// covers tables the kernel never declared as FramePageTable (the
+	// Memory-level watch only sees typed frames), so hostile Native
+	// kernels cannot bypass it.
+	u.invalidateTableFrame(table)
+	return nil
 }
 
 // ReadPTE reads a page-table entry (used by the SVA checks and by the
@@ -307,4 +350,91 @@ func (u *MMU) EnsureTables(root Frame, v Virt,
 		table = e.Frame()
 	}
 	return table, ptIndex(v, 0), nil
+}
+
+// CachedLeaf returns the leaf PTE for v in the address space rooted at
+// root, serving repeated lookups from the walk cache. ok is false when
+// any level of the walk is non-present (negative results are never
+// cached). Callers model their own timing: a hit here must still charge
+// whatever virtual cost the modeled access would pay, because the cache
+// exists only to spare the *host* the O(levels) physical reads.
+func (u *MMU) CachedLeaf(root Frame, v Virt) (PTE, bool, error) {
+	key := walkKey{root: root, page: PageOf(v)}
+	if we, ok := u.walk[key]; ok {
+		return we.pte, true, nil
+	}
+	var tables [ptLevels]Frame
+	table := root
+	for level := ptLevels - 1; level >= 1; level-- {
+		tables[level] = table
+		e, err := u.readPTE(table, ptIndex(v, level))
+		if err != nil {
+			return 0, false, err
+		}
+		if !e.Present() {
+			return 0, false, nil
+		}
+		table = e.Frame()
+	}
+	tables[0] = table
+	leaf, err := u.readPTE(table, ptIndex(v, 0))
+	if err != nil {
+		return 0, false, err
+	}
+	if !leaf.Present() {
+		return 0, false, nil
+	}
+	u.walk[key] = walkEntry{pte: leaf, tables: tables}
+	for _, f := range tables {
+		deps := u.walkDeps[f]
+		if deps == nil {
+			deps = make(map[walkKey]struct{})
+			u.walkDeps[f] = deps
+		}
+		deps[key] = struct{}{}
+	}
+	return leaf, true, nil
+}
+
+// InvalidatePageIn drops the cached walk for one page of one address
+// space. The SVA layer calls it from its mapping-update operations
+// (rawMap/rawUnmap); because the cache is keyed by (root, page) and
+// entries are dropped eagerly, switching roots can never resurrect a
+// translation invalidated while its address space was inactive.
+func (u *MMU) InvalidatePageIn(root Frame, v Virt) {
+	u.dropWalk(walkKey{root: root, page: PageOf(v)})
+}
+
+// invalidateTableFrame drops every cached walk that traversed the given
+// page-table frame. It is registered as the Memory layer's page-table
+// watch, so raw physical stores, ZeroFrame, FrameBytes hand-outs,
+// SetType and FreeFrame on declared table frames all funnel here.
+func (u *MMU) invalidateTableFrame(f Frame) {
+	deps := u.walkDeps[f]
+	if len(deps) == 0 {
+		return
+	}
+	keys := make([]walkKey, 0, len(deps))
+	for k := range deps {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		u.dropWalk(k)
+	}
+}
+
+func (u *MMU) dropWalk(key walkKey) {
+	we, ok := u.walk[key]
+	if !ok {
+		return
+	}
+	delete(u.walk, key)
+	for _, f := range we.tables {
+		if deps := u.walkDeps[f]; deps != nil {
+			delete(deps, key)
+			if len(deps) == 0 {
+				delete(u.walkDeps, f)
+			}
+		}
+	}
 }
