@@ -7,6 +7,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 
 	"repro"
@@ -14,13 +15,11 @@ import (
 	"repro/internal/vir"
 )
 
-const moduleSource = `module spyware
-func peek(1 params) {
-entry:
-  %r1 = load8 [%r0]
-  ret %r1
-}
-`
+// The module ships as a standalone .vir file so it can also be linted
+// offline: `go run ./cmd/vircheck -instrument examples/kernel-module/spyware.vir`.
+//
+//go:embed spyware.vir
+var moduleSource string
 
 func main() {
 	mod, err := vir.ParseModule(moduleSource)

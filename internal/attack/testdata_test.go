@@ -1,0 +1,54 @@
+package attack
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vir"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata .vir golden files")
+
+// moduleGoldens pins each attack module's IR to a checked-in .vir text
+// file. The files exist so CI can lint the attack suite standalone with
+// cmd/vircheck; this test keeps them from drifting out of sync with the
+// Go builders (regenerate with `go test ./internal/attack -update`).
+func moduleGoldens() map[string]*vir.Module {
+	return map[string]*vir.Module{
+		"maliciousmod.vir": BuildModuleIR(),
+		"dmamod.vir":       BuildDMAModuleIR(),
+		"asmmod.vir":       BuildAsmModuleIR(),
+		"ropmod.vir":       BuildROPModuleIR(),
+	}
+}
+
+func TestModuleIRTestdataInSync(t *testing.T) {
+	for name, m := range moduleGoldens() {
+		path := filepath.Join("testdata", name)
+		text := vir.FormatModule(m)
+		if *update {
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update)", path, err)
+		}
+		if string(want) != text {
+			t.Errorf("%s out of sync with its builder (regenerate with -update)", path)
+		}
+		// The text form must parse back to the same canonical IR —
+		// the files are the vircheck-facing source of truth.
+		rt, err := vir.ParseModule(string(want))
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", path, err)
+		}
+		if vir.FormatModule(rt) != text {
+			t.Errorf("%s does not round-trip canonically", path)
+		}
+	}
+}

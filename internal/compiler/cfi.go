@@ -61,8 +61,13 @@ func CFIModule(m *vir.Module) {
 // application into overwriting its own ghost memory (stack, heap).
 //
 // syscallSyms names the call symbols whose return values are mmap-like
-// pointers (by default just "mmap").
+// pointers (by default just "mmap"). The pass is idempotent: a function
+// already marked MmapMasked is left untouched, so running it twice
+// cannot double-instrument the call sites.
 func MmapMaskPass(f *vir.Function, syscallSyms ...string) {
+	if f.MmapMasked {
+		return
+	}
 	if len(syscallSyms) == 0 {
 		syscallSyms = []string{"mmap"}
 	}
@@ -87,5 +92,14 @@ func MmapMaskPass(f *vir.Function, syscallSyms ...string) {
 			}
 		}
 		b.Instrs = out
+	}
+	f.MmapMasked = true
+}
+
+// MmapMaskModule runs MmapMaskPass over every function, mirroring
+// SandboxModule/CFIModule.
+func MmapMaskModule(m *vir.Module, syscallSyms ...string) {
+	for _, f := range m.Funcs {
+		MmapMaskPass(f, syscallSyms...)
 	}
 }

@@ -1,0 +1,201 @@
+// Package check implements the static admission verifier for translated
+// IR: a NaCl-style validator that proves — independently of how the code
+// was produced — that a module is safe to run in supervisor mode under
+// Virtual Ghost. The trusted translator *applies* the sandboxing and CFI
+// passes; this package *proves* the result actually carries the
+// invariants the security argument rests on (paper §4.3.1: "all OS code
+// is instrumented"):
+//
+//  1. Sandboxing: every load, store, and memcpy address operand is,
+//     on every path, the unmodified result of an OpMaskGhost — shown by
+//     a forward dataflow analysis over a masked-value lattice
+//     (Masked / Unmasked / Top) merged at control-flow joins.
+//  2. CFI structure: the entry block begins with the kernel CFI label,
+//     every return is instrumented (OpCFIRet), every indirect call is
+//     instrumented (OpCFICallInd), and no inline assembly appears.
+//  3. Linkage: direct-call symbols resolve within the module or a
+//     declared import allow-list (closing the planted-foreign-symbol
+//     hole: code smuggled into the code space outside the kernel code
+//     segment must not be nameable as a call target).
+//  4. Privileged I/O: OpPortIn/OpPortOut appear only in functions on an
+//     explicit I/O allow-list, when the policy is configured.
+//
+// The checker reports *all* violations as structured diagnostics with
+// fn/block[idx] locations rather than stopping at the first, so a
+// refused module can be diagnosed in one shot. Because admission is a
+// property of the emitted code, a bug in (or bypass of) the
+// instrumentation passes becomes a refused translation instead of a
+// silent hole — see DESIGN.md §10.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vir"
+)
+
+// Diagnostic codes, stable across message rewording (tests and tools
+// key off these).
+const (
+	CodeUnmaskedLoad   = "unmasked-load"
+	CodeUnmaskedStore  = "unmasked-store"
+	CodeUnmaskedMemcpy = "unmasked-memcpy"
+	CodeMissingLabel   = "missing-entry-label"
+	CodeWrongLabel     = "wrong-entry-label"
+	CodeRawRet         = "uninstrumented-ret"
+	CodeRawCallInd     = "uninstrumented-callind"
+	CodeInlineAsm      = "inline-asm"
+	CodeBadImport      = "forbidden-import"
+	CodeBadIO          = "io-not-allowed"
+	CodeMmapDeref      = "unmasked-mmap-deref"
+)
+
+// Diagnostic is one admission violation at a specific instruction.
+type Diagnostic struct {
+	Fn    string
+	Block string
+	Idx   int
+	Code  string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s/%s[%d]: %s: %s", d.Fn, d.Block, d.Idx, d.Code, d.Msg)
+}
+
+// Config selects the admission policy.
+type Config struct {
+	// Label is the CFI label every function entry must carry
+	// (compiler.KernelCFILabel in the Virtual Ghost pipeline).
+	Label uint64
+	// AllowImport reports whether a direct-call symbol that does not
+	// resolve within the module is an acceptable import. nil permits
+	// any import (symbols are then resolved at run time by the kernel's
+	// module linker).
+	AllowImport func(sym string) bool
+	// AllowIO reports whether the named function may execute port I/O.
+	// nil leaves port I/O unrestricted (the Virtual Ghost VM checks
+	// I/O at run time through its checked instructions); a non-nil
+	// policy makes I/O a static admission decision.
+	AllowIO func(fn string) bool
+}
+
+// AllowList builds an allow-predicate from an explicit name list, for
+// use as Config.AllowImport or Config.AllowIO.
+func AllowList(names ...string) func(string) bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(s string) bool { return set[s] }
+}
+
+// CheckModule verifies every function and returns all violations found,
+// in deterministic (definition) order. An empty slice means the module
+// is admissible under cfg.
+func CheckModule(m *vir.Module, cfg Config) []Diagnostic {
+	defined := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		defined[f.Name] = true
+	}
+	var diags []Diagnostic
+	for _, f := range m.Funcs {
+		diags = append(diags, CheckFunction(f, defined, cfg)...)
+	}
+	return diags
+}
+
+// CheckFunction verifies one function. defined names the symbols that
+// resolve within the enclosing module (nil for a free-standing
+// function). The function is assumed structurally well-formed
+// (vir.VerifyFunction); run that first on untrusted input.
+func CheckFunction(f *vir.Function, defined map[string]bool, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, checkCFIStructure(f, cfg)...)
+	diags = append(diags, checkLinkage(f, defined, cfg)...)
+	diags = append(diags, checkMasking(f)...)
+	return diags
+}
+
+// Error aggregates a refused module's diagnostics into one error value.
+type Error struct {
+	Module string
+	Diags  []Diagnostic
+}
+
+func (e *Error) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "check: module %q refused with %d violation(s):", e.Module, len(e.Diags))
+	for _, d := range e.Diags {
+		sb.WriteString("\n  ")
+		sb.WriteString(d.String())
+	}
+	return sb.String()
+}
+
+// Verify runs CheckModule and wraps any violations in an *Error.
+func Verify(m *vir.Module, cfg Config) error {
+	if diags := CheckModule(m, cfg); len(diags) > 0 {
+		return &Error{Module: m.Name, Diags: diags}
+	}
+	return nil
+}
+
+// checkCFIStructure enforces the control-flow-integrity shape: labeled
+// entry, instrumented returns and indirect calls, no inline assembly.
+func checkCFIStructure(f *vir.Function, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	bad := func(b *vir.Block, i int, code, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{Fn: f.Name, Block: b.Name, Idx: i,
+			Code: code, Msg: fmt.Sprintf(format, args...)})
+	}
+	if entry := f.Entry(); entry != nil && len(entry.Instrs) > 0 {
+		switch first := entry.Instrs[0]; {
+		case first.Op != vir.OpCFILabel:
+			bad(entry, 0, CodeMissingLabel,
+				"entry does not begin with a CFI label (got %v)", first.Op)
+		case first.Imm != cfg.Label:
+			bad(entry, 0, CodeWrongLabel,
+				"entry label %#x, want %#x", first.Imm, cfg.Label)
+		}
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case vir.OpRet:
+				bad(b, i, CodeRawRet, "return is not CFI-instrumented")
+			case vir.OpCallInd:
+				bad(b, i, CodeRawCallInd, "indirect call is not CFI-instrumented")
+			case vir.OpAsm:
+				bad(b, i, CodeInlineAsm, "inline assembly %q is not admissible", in.Sym)
+			}
+		}
+	}
+	return diags
+}
+
+// checkLinkage enforces the import and I/O policies.
+func checkLinkage(f *vir.Function, defined map[string]bool, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	ioOK := cfg.AllowIO == nil || cfg.AllowIO(f.Name)
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case vir.OpCall:
+				if !defined[in.Sym] && cfg.AllowImport != nil && !cfg.AllowImport(in.Sym) {
+					diags = append(diags, Diagnostic{Fn: f.Name, Block: b.Name, Idx: i,
+						Code: CodeBadImport,
+						Msg:  fmt.Sprintf("call to %q: not defined in module and not a declared import", in.Sym)})
+				}
+			case vir.OpPortIn, vir.OpPortOut:
+				if !ioOK {
+					diags = append(diags, Diagnostic{Fn: f.Name, Block: b.Name, Idx: i,
+						Code: CodeBadIO,
+						Msg:  fmt.Sprintf("%v in function not on the I/O allow-list", in.Op)})
+				}
+			}
+		}
+	}
+	return diags
+}

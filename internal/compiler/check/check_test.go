@@ -1,0 +1,295 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vir"
+)
+
+func kernelCfg() Config { return Config{Label: 0xCF1} }
+
+// instrument applies the same rewrites the compiler's passes would (the
+// check package cannot import the compiler without a cycle, and the
+// checker must anyway not trust those passes): label the entry, convert
+// control flow, and mask every memory operand.
+func instrument(f *vir.Function) {
+	entry := f.Entry()
+	entry.Instrs = append([]vir.Instr{{Op: vir.OpCFILabel, Imm: 0xCF1}}, entry.Instrs...)
+	for _, b := range f.Blocks {
+		out := make([]vir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case vir.OpRet:
+				in.Op = vir.OpCFIRet
+			case vir.OpCallInd:
+				in.Op = vir.OpCFICallInd
+			case vir.OpLoad, vir.OpStore:
+				masked := f.NRegs
+				f.NRegs++
+				out = append(out, vir.Instr{Op: vir.OpMaskGhost, Dst: masked, A: in.A})
+				in.A = vir.R(masked)
+			case vir.OpMemcpy:
+				mdst, msrc := f.NRegs, f.NRegs+1
+				f.NRegs += 2
+				out = append(out,
+					vir.Instr{Op: vir.OpMaskGhost, Dst: mdst, A: in.A},
+					vir.Instr{Op: vir.OpMaskGhost, Dst: msrc, A: in.B})
+				in.A, in.B = vir.R(mdst), vir.R(msrc)
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+func TestMaskStateJoinIsLattice(t *testing.T) {
+	states := []maskState{stBottom, stMasked, stUnmasked, stTop}
+	for _, a := range states {
+		for _, b := range states {
+			j := a | b
+			if j != b|a {
+				t.Errorf("join not commutative: %v ⊔ %v", a, b)
+			}
+			if a|a != a {
+				t.Errorf("join not idempotent at %v", a)
+			}
+			if (j|a) != j || (j|b) != j {
+				t.Errorf("%v ⊔ %v = %v is not an upper bound", a, b, j)
+			}
+		}
+	}
+	if stMasked|stUnmasked != stTop {
+		t.Errorf("masked ⊔ unmasked must be top")
+	}
+}
+
+func TestInstrumentedFunctionIsClean(t *testing.T) {
+	b := vir.NewFunction("workload", 2)
+	v := b.Load(b.Param(0), 8)
+	b.Store(b.Param(1), v, 8)
+	b.Memcpy(b.Param(1), b.Param(0), vir.Imm(32))
+	_ = b.CallInd(b.Param(0))
+	b.Ret(v)
+	f := b.Fn()
+	instrument(f)
+	if diags := CheckFunction(f, nil, kernelCfg()); len(diags) != 0 {
+		t.Fatalf("instrumented function not clean: %v", diags)
+	}
+}
+
+func TestUninstrumentedFunctionReportsEverything(t *testing.T) {
+	b := vir.NewFunction("raw", 2)
+	v := b.Load(b.Param(0), 8)
+	b.Store(b.Param(1), v, 8)
+	_ = b.CallInd(b.Param(0))
+	b.Ret(v)
+	diags := CheckFunction(b.Fn(), nil, kernelCfg())
+	want := map[string]bool{
+		CodeMissingLabel: true, CodeUnmaskedLoad: true,
+		CodeUnmaskedStore: true, CodeRawCallInd: true, CodeRawRet: true,
+	}
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[d.Code] = true
+	}
+	for code := range want {
+		if !got[code] {
+			t.Errorf("missing diagnostic %s in %v", code, diags)
+		}
+	}
+	if len(diags) < len(want) {
+		t.Errorf("want all violations reported, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestDeadBlockStillChecked(t *testing.T) {
+	// A block the fixpoint never reaches must still satisfy the
+	// invariants: "unreachable" is only as trustworthy as the branches
+	// around it.
+	src := `module dead
+func f(1 params) {
+entry:
+  cfi.label 0xcf1
+  cfi.ret 0x0
+orphan:
+  store8 [%r0], 0x1
+  cfi.ret 0x0
+}
+`
+	m := mustParse(t, src)
+	diags := CheckModule(m, kernelCfg())
+	if len(diags) != 1 || diags[0].Code != CodeUnmaskedStore || diags[0].Block != "orphan" {
+		t.Fatalf("want one unmasked-store in orphan, got %v", diags)
+	}
+}
+
+func TestLoopFixpointConverges(t *testing.T) {
+	// A loop whose body re-masks each iteration is clean; moving the
+	// mask out of the loop while an unmasked redefinition flows around
+	// the back edge is caught.
+	clean := `module loop
+func sum(2 params) {
+entry:
+  cfi.label 0xcf1
+  %r2 = const 0x0
+  br head
+head:
+  %r3 = cmplt %r2, %r1
+  condbr %r3, body, done
+body:
+  %r4 = add %r0, %r2
+  %r5 = maskghost %r4
+  %r6 = load8 [%r5]
+  %r2 = add %r2, 0x8
+  br head
+done:
+  cfi.ret %r2
+}
+`
+	if diags := CheckModule(mustParse(t, clean), kernelCfg()); len(diags) != 0 {
+		t.Fatalf("clean loop flagged: %v", diags)
+	}
+	backEdge := `module loop
+func walk(1 params) {
+entry:
+  cfi.label 0xcf1
+  %r1 = maskghost %r0
+  br head
+head:
+  %r2 = load8 [%r1]
+  %r1 = mov %r2
+  condbr %r2, head, done
+done:
+  cfi.ret 0x0
+}
+`
+	diags := CheckModule(mustParse(t, backEdge), kernelCfg())
+	if len(diags) != 1 || diags[0].Code != CodeUnmaskedLoad || diags[0].Block != "head" {
+		t.Fatalf("want unmasked-load in head via back edge, got %v", diags)
+	}
+}
+
+func TestImmediateAddressIsUnmasked(t *testing.T) {
+	src := `module imm
+func f(0 params) {
+entry:
+  cfi.label 0xcf1
+  store8 [0xffffff8000001000], 0x1
+  cfi.ret 0x0
+}
+`
+	diags := CheckModule(mustParse(t, src), kernelCfg())
+	if len(diags) != 1 || diags[0].Code != CodeUnmaskedStore {
+		t.Fatalf("immediate store address must require masking, got %v", diags)
+	}
+}
+
+func TestPresetFlagsDoNotFoolChecker(t *testing.T) {
+	// The hostile-author bypass: flags claim the passes ran, the code
+	// says otherwise. The checker judges only the code.
+	src := `module liar
+func f(2 params) sandboxed labeled translated {
+entry:
+  store8 [%r0], %r1
+  ret 0x0
+}
+`
+	m := mustParse(t, src)
+	if !m.Func("f").Sandboxed || !m.Func("f").Labeled {
+		t.Fatal("test module should carry pre-set flags")
+	}
+	got := map[string]bool{}
+	for _, d := range CheckModule(m, kernelCfg()) {
+		got[d.Code] = true
+	}
+	for _, code := range []string{CodeMissingLabel, CodeUnmaskedStore, CodeRawRet} {
+		if !got[code] {
+			t.Errorf("pre-set flags suppressed %s", code)
+		}
+	}
+}
+
+func TestErrorAggregatesAllDiagnostics(t *testing.T) {
+	src := `module multi
+func f(1 params) {
+entry:
+  store8 [%r0], 0x1
+  ret 0x0
+}
+`
+	err := Verify(mustParse(t, src), kernelCfg())
+	if err == nil {
+		t.Fatal("want error")
+	}
+	cerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *check.Error, got %T", err)
+	}
+	if len(cerr.Diags) < 3 {
+		t.Fatalf("want ≥3 violations aggregated, got %v", cerr.Diags)
+	}
+	msg := err.Error()
+	for _, frag := range []string{`"multi"`, "f/entry[0]", CodeUnmaskedStore, CodeRawRet} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error message missing %q:\n%s", frag, msg)
+		}
+	}
+}
+
+func TestAllowListPolicies(t *testing.T) {
+	src := `module pol
+func probe(0 params) {
+entry:
+  cfi.label 0xcf1
+  %r0 = portin 0x60
+  %r1 = call helper()
+  %r2 = call klog_acc(%r0)
+  cfi.ret %r2
+}
+func helper(0 params) {
+entry:
+  cfi.label 0xcf1
+  cfi.ret 0x0
+}
+`
+	m := mustParse(t, src)
+	// Permissive (translator defaults): no violations.
+	if diags := CheckModule(m, kernelCfg()); len(diags) != 0 {
+		t.Fatalf("permissive config flagged: %v", diags)
+	}
+	// Strict: I/O only in helper, imports only klog_acc — probe's
+	// portin is refused, both calls stay fine (helper is defined in
+	// the module, klog_acc is allow-listed).
+	strict := Config{Label: 0xCF1, AllowIO: AllowList("helper"), AllowImport: AllowList("klog_acc")}
+	diags := CheckModule(m, strict)
+	if len(diags) != 1 || diags[0].Code != CodeBadIO || diags[0].Fn != "probe" {
+		t.Fatalf("want one io-not-allowed in probe, got %v", diags)
+	}
+	// Empty import allow-list: klog_acc becomes a violation too.
+	sealed := Config{Label: 0xCF1, AllowImport: AllowList()}
+	diags = CheckModule(m, sealed)
+	if len(diags) != 1 || diags[0].Code != CodeBadImport || !strings.Contains(diags[0].Msg, "klog_acc") {
+		t.Fatalf("want one forbidden-import for klog_acc, got %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Fn: "f", Block: "entry", Idx: 3, Code: CodeUnmaskedStore, Msg: "store address %r1 is unmasked"}
+	want := "f/entry[3]: unmasked-store: store address %r1 is unmasked"
+	if d.String() != want {
+		t.Fatalf("got %q, want %q", d.String(), want)
+	}
+}
+
+func mustParse(t *testing.T, src string) *vir.Module {
+	t.Helper()
+	m, err := vir.ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := vir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}

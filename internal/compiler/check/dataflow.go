@@ -1,0 +1,207 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/vir"
+)
+
+// maskState is the per-register abstract value of the masked-address
+// lattice. The encoding makes join a bitwise OR:
+//
+//	      top (3)          may be masked or unmasked
+//	     /        \
+//	masked (1)  unmasked (2)
+//	     \        /
+//	      bottom (0)       unreached
+//
+// Only stMasked proves an address safe to dereference: stTop means some
+// path reaches the use without the mask, which is exactly the bug class
+// the analysis exists to catch.
+type maskState uint8
+
+const (
+	stBottom   maskState = 0
+	stMasked   maskState = 1
+	stUnmasked maskState = 2
+	stTop      maskState = 3
+)
+
+func (s maskState) String() string {
+	switch s {
+	case stBottom:
+		return "unreached"
+	case stMasked:
+		return "masked"
+	case stUnmasked:
+		return "unmasked"
+	}
+	return "maybe-unmasked"
+}
+
+// regStates is one abstract machine state: a lattice value per virtual
+// register.
+type regStates []maskState
+
+func (rs regStates) clone() regStates {
+	out := make(regStates, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// joinInto merges src into dst, reporting whether dst changed.
+func (rs regStates) joinInto(src regStates) bool {
+	changed := false
+	for i, v := range src {
+		if merged := rs[i] | v; merged != rs[i] {
+			rs[i] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// writesDst reports whether an opcode defines its Dst register. This
+// mirrors the structural verifier's (unexported) table in package vir;
+// the checker keeps its own copy because admission must not depend on
+// unexported internals of the IR it is judging.
+func writesDst(op vir.Opcode) bool {
+	switch op {
+	case vir.OpConst, vir.OpMov, vir.OpAdd, vir.OpSub, vir.OpMul,
+		vir.OpAnd, vir.OpOr, vir.OpXor, vir.OpShl, vir.OpShr,
+		vir.OpCmpEQ, vir.OpCmpNE, vir.OpCmpLT, vir.OpCmpGE,
+		vir.OpSelect, vir.OpLoad, vir.OpCall, vir.OpCallInd,
+		vir.OpCFICallInd, vir.OpPortIn, vir.OpFuncAddr, vir.OpMaskGhost:
+		return true
+	}
+	return false
+}
+
+// successors returns the CFG successor block names of a terminator
+// (empty for returns).
+func successors(in vir.Instr) []string {
+	switch in.Op {
+	case vir.OpBr:
+		return []string{in.Blk1}
+	case vir.OpCondBr:
+		return []string{in.Blk1, in.Blk2}
+	}
+	return nil
+}
+
+// checkMasking proves every load/store/memcpy address operand is the
+// unmodified result of an OpMaskGhost on all paths, via a forward
+// worklist fixpoint over the masked-value lattice.
+//
+// Transfer function: OpMaskGhost defines Masked; OpMov copies its
+// source's state; OpSelect joins the states of its two data operands
+// (the condition does not flow into the value); every other defining
+// instruction — arithmetic included, since adding even zero to a masked
+// pointer could re-derive a ghost address — produces Unmasked.
+// Immediates are Unmasked (the sandbox pass masks constant addresses
+// like everything else). Function parameters enter Unmasked: callers
+// are never trusted to pre-mask.
+func checkMasking(f *vir.Function) []Diagnostic {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	index := make(map[string]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		index[b.Name] = i
+	}
+
+	entryState := make(regStates, f.NRegs)
+	for i := range entryState {
+		entryState[i] = stUnmasked
+	}
+
+	// Fixpoint: in-states per block, entry seeded all-Unmasked.
+	inStates := make([]regStates, len(f.Blocks))
+	inStates[0] = entryState.clone()
+	work := []int{0}
+	onWork := make([]bool, len(f.Blocks))
+	onWork[0] = true
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		onWork[bi] = false
+		out := inStates[bi].clone()
+		for _, in := range f.Blocks[bi].Instrs {
+			transfer(out, in)
+		}
+		last := f.Blocks[bi].Instrs[len(f.Blocks[bi].Instrs)-1]
+		for _, succ := range successors(last) {
+			si, ok := index[succ]
+			if !ok {
+				continue // structural verifier's problem, not ours
+			}
+			if inStates[si] == nil {
+				inStates[si] = out.clone()
+			} else if !inStates[si].joinInto(out) {
+				continue
+			}
+			if !onWork[si] {
+				onWork[si] = true
+				work = append(work, si)
+			}
+		}
+	}
+
+	// Report pass: replay each block from its converged in-state, in
+	// definition order so diagnostics are deterministic. Blocks the
+	// fixpoint never reached are judged from the all-Unmasked state —
+	// dead code still must not carry raw dereferences, since "dead" is
+	// only as trustworthy as the branch conditions around it.
+	var diags []Diagnostic
+	for bi, b := range f.Blocks {
+		st := inStates[bi]
+		if st == nil {
+			st = entryState
+		}
+		st = st.clone()
+		for i, in := range b.Instrs {
+			addr := func(v vir.Value, code, what string) {
+				s := stUnmasked
+				if !v.IsImm {
+					s = st[v.Reg]
+				}
+				if s != stMasked {
+					diags = append(diags, Diagnostic{Fn: f.Name, Block: b.Name, Idx: i,
+						Code: code,
+						Msg:  fmt.Sprintf("%s address %v is %s (not the result of maskghost)", what, v, s)})
+				}
+			}
+			switch in.Op {
+			case vir.OpLoad:
+				addr(in.A, CodeUnmaskedLoad, "load")
+			case vir.OpStore:
+				addr(in.A, CodeUnmaskedStore, "store")
+			case vir.OpMemcpy:
+				addr(in.A, CodeUnmaskedMemcpy, "memcpy destination")
+				addr(in.B, CodeUnmaskedMemcpy, "memcpy source")
+			}
+			transfer(st, in)
+		}
+	}
+	return diags
+}
+
+// transfer applies one instruction's effect to the abstract state.
+func transfer(st regStates, in vir.Instr) {
+	val := func(v vir.Value) maskState {
+		if v.IsImm {
+			return stUnmasked
+		}
+		return st[v.Reg]
+	}
+	switch {
+	case in.Op == vir.OpMaskGhost:
+		st[in.Dst] = stMasked
+	case in.Op == vir.OpMov:
+		st[in.Dst] = val(in.A)
+	case in.Op == vir.OpSelect:
+		st[in.Dst] = val(in.B) | val(in.C)
+	case writesDst(in.Op):
+		st[in.Dst] = stUnmasked
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/compiler/check"
+	"repro/internal/hw"
 	"repro/internal/vir"
 )
 
@@ -28,6 +30,13 @@ var ErrInlineAsm = errors.New("compiler: module contains inline assembly; not ex
 // verification.
 var ErrNotVerifiable = errors.New("compiler: module failed verification")
 
+// ErrNotAdmissible is returned when instrumented code fails the static
+// admission checker — i.e. the emitted IR does not provably carry the
+// sandbox/CFI invariants. With correct passes this indicates a compiler
+// bug; its job is to turn such bugs (or pass bypasses) into refused
+// translations instead of silent security holes.
+var ErrNotAdmissible = errors.New("compiler: instrumented code failed admission verification")
+
 // Options selects which protections the compiler applies. The Virtual
 // Ghost configuration enables everything; the Native baseline compiles
 // with nothing enabled (a plain LLVM build of the kernel, as in the
@@ -39,10 +48,17 @@ type Options struct {
 	CFI bool
 	// RejectAsm makes the translator refuse inline assembly.
 	RejectAsm bool
+	// VerifyAdmission runs the static admission checker
+	// (internal/compiler/check) on the instrumented output and refuses
+	// the translation unless the sandbox/CFI invariants are proved on
+	// the emitted code itself.
+	VerifyAdmission bool
 }
 
 // VirtualGhostOptions returns the full Virtual Ghost pipeline.
-func VirtualGhostOptions() Options { return Options{Sandbox: true, CFI: true, RejectAsm: true} }
+func VirtualGhostOptions() Options {
+	return Options{Sandbox: true, CFI: true, RejectAsm: true, VerifyAdmission: true}
+}
 
 // NativeOptions returns the uninstrumented baseline pipeline.
 func NativeOptions() Options { return Options{} }
@@ -59,6 +75,7 @@ type Translation struct {
 	byAddr    map[uint64]*vir.Function
 	base, top uint64
 	opts      Options
+	admitted  bool
 }
 
 // CodeSpace hands out entry addresses and resolves them back to
@@ -112,6 +129,9 @@ func (cs *CodeSpace) PlantForeign(addr uint64, f *vir.Function) {
 type Translator struct {
 	Opts  Options
 	Space *CodeSpace
+	// Clock, when set, is charged the admission-verification cost so
+	// that translation-time work stays on the virtual-cycle model.
+	Clock *hw.Clock
 }
 
 // NewTranslator builds a translator over a fresh code space.
@@ -130,17 +150,35 @@ func (t *Translator) Translate(m *vir.Module) (*Translation, error) {
 		return nil, ErrInlineAsm
 	}
 	code := m.Clone()
+	// The instrumentation flags on submitted IR are attacker-controlled
+	// bits, not facts: a hostile module author could pre-set Sandboxed/
+	// Labeled so the passes skip their work. Clear all translation state
+	// on the private clone and instrument from scratch.
+	for _, f := range code.Funcs {
+		f.Sandboxed = false
+		f.Labeled = false
+		f.Translated = false
+	}
 	if t.Opts.Sandbox {
 		SandboxModule(code)
 	}
 	if t.Opts.CFI {
 		CFIModule(code)
 	}
+	admitted := false
+	if t.Opts.VerifyAdmission {
+		t.ChargeVerify(code)
+		if err := check.Verify(code, t.AdmissionConfig()); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotAdmissible, err)
+		}
+		admitted = true
+	}
 	tr := &Translation{
-		Module:  code,
-		entries: make(map[string]uint64),
-		byAddr:  make(map[uint64]*vir.Function),
-		opts:    t.Opts,
+		Module:   code,
+		entries:  make(map[string]uint64),
+		byAddr:   make(map[uint64]*vir.Function),
+		opts:     t.Opts,
+		admitted: admitted,
 	}
 	tr.base = t.Space.next
 	for _, f := range code.Funcs {
@@ -160,6 +198,41 @@ func (t *Translator) Translate(m *vir.Module) (*Translation, error) {
 	return tr, nil
 }
 
+// AdmissionConfig is the policy Translate proves instrumented output
+// against. Imports are allowed unless the symbol already resolves in
+// the code space to an address *outside* the kernel code segment —
+// i.e. code smuggled in via CodeSpace.PlantForeign cannot be named as
+// a direct-call target, while genuinely unresolved symbols are left to
+// the kernel's run-time module linker (intrinsics). I/O stays a
+// run-time decision of the VM's checked instructions, so AllowIO is
+// nil here; stricter static policies are available to cmd/vircheck
+// and tests.
+func (t *Translator) AdmissionConfig() check.Config {
+	return check.Config{
+		Label: KernelCFILabel,
+		AllowImport: func(sym string) bool {
+			addr, known := t.Space.FuncAddr(sym)
+			return !known || t.Space.InKernelCode(addr)
+		},
+	}
+}
+
+// ChargeVerify charges the virtual-cycle cost of admission-verifying m
+// (a linear scan, so linear in instruction count) to the translator's
+// clock, if one is attached.
+func (t *Translator) ChargeVerify(m *vir.Module) {
+	if t.Clock == nil {
+		return
+	}
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	t.Clock.Advance(uint64(n) * hw.CostVerifyPerOp)
+}
+
 // Entry returns the code address of a function in this translation.
 func (tr *Translation) Entry(name string) (uint64, bool) {
 	a, ok := tr.entries[name]
@@ -176,4 +249,14 @@ func (tr *Translation) Verify() bool {
 // Ghost protections.
 func (tr *Translation) Instrumented() bool {
 	return tr.opts.Sandbox && tr.opts.CFI
+}
+
+// Admitted reports whether this translation may enter kernel code
+// space: either the static admission checker proved the sandbox/CFI
+// invariants on the emitted code, or the pipeline declares no
+// admission requirement (the native baseline). A translation claiming
+// a verifying pipeline without a checker pass is refused by the
+// kernel's module loader.
+func (tr *Translation) Admitted() bool {
+	return tr.admitted || !tr.opts.VerifyAdmission
 }

@@ -64,9 +64,13 @@ type halCommon struct {
 }
 
 func newHALCommon(m *hw.Machine, opts compiler.Options) halCommon {
+	xlator := compiler.NewTranslator(opts)
+	// Admission verification runs on this machine, so its cost lands on
+	// this machine's clock.
+	xlator.Clock = m.Clock
 	return halCommon{
 		m:       m,
-		xlator:  compiler.NewTranslator(opts),
+		xlator:  xlator,
 		threads: make(map[ThreadID]*threadState),
 	}
 }

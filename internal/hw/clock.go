@@ -39,6 +39,11 @@ const (
 	CostCFICheck = 8
 	// CostCFILabel is charged for executing a CFI label landing pad.
 	CostCFILabel = 1
+	// CostVerifyPerOp is charged per IR instruction by the static
+	// admission checker that the translator runs over instrumented
+	// output (a linear dataflow scan, amortized at translation/module-
+	// load time, never on hot paths).
+	CostVerifyPerOp = 3
 	// CostALU is charged for one arithmetic/logic IR instruction.
 	CostALU = 1
 	// CostBranch is charged for a direct branch.

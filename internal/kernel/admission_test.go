@@ -1,0 +1,53 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeTranslation lets the admission gate be driven directly: a
+// translation claiming whatever combination of admission proof and
+// signature validity an attack on the loader would need.
+type fakeTranslation struct {
+	admitted, verified bool
+}
+
+func (f *fakeTranslation) Entry(string) (uint64, bool) { return 0, false }
+func (f *fakeTranslation) Verify() bool                { return f.verified }
+func (f *fakeTranslation) Admitted() bool              { return f.admitted }
+
+func TestAdmitModuleGate(t *testing.T) {
+	k := bootKernel(t, core.ModeVirtualGhost)
+
+	if _, err := k.admitModule("good", &fakeTranslation{admitted: true, verified: true}); err != nil {
+		t.Errorf("admitted+verified translation refused: %v", err)
+	}
+
+	_, err := k.admitModule("noproof", &fakeTranslation{admitted: false, verified: true})
+	if err == nil || !strings.Contains(err.Error(), "admission proof") {
+		t.Errorf("translation without admission proof must be refused, got %v", err)
+	}
+
+	_, err = k.admitModule("tampered", &fakeTranslation{admitted: true, verified: false})
+	if err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Errorf("signature-mismatched translation must be refused, got %v", err)
+	}
+}
+
+// TestLoadModuleAdmitsRealTranslations is the end-to-end positive case:
+// both pipelines' real translations pass the gate (Virtual Ghost with
+// an admission proof, native by declaring no admission requirement).
+func TestLoadModuleAdmitsRealTranslations(t *testing.T) {
+	for _, mode := range modes() {
+		k := bootKernel(t, mode)
+		mod, err := k.LoadModule(buildCounterModule())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !mod.Translation.Admitted() {
+			t.Errorf("%v: loaded module translation not admitted", mode)
+		}
+	}
+}

@@ -333,6 +333,10 @@ type Module struct {
 type moduleTranslation interface {
 	Entry(name string) (uint64, bool)
 	Verify() bool
+	// Admitted reports whether the static admission checker proved the
+	// sandbox/CFI invariants on the emitted code (or the pipeline
+	// declares no admission requirement, as in the native baseline).
+	Admitted() bool
 }
 
 // LoadModule submits module IR to the HAL's translator — under Virtual
@@ -344,9 +348,26 @@ func (k *Kernel) LoadModule(m *vir.Module) (*Module, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernel: module %q rejected by translator: %w", m.Name, err)
 	}
-	mod := &Module{Name: m.Name, Translation: tr, kernel: k}
+	mod, err := k.admitModule(m.Name, tr)
+	if err != nil {
+		return nil, err
+	}
 	k.modules = append(k.modules, mod)
 	return mod, nil
+}
+
+// admitModule gates a finished translation into the kernel's module
+// list: the code must carry an admission proof (or come from a
+// pipeline with no admission requirement) and its signature must still
+// match — a translation altered after signing is refused.
+func (k *Kernel) admitModule(name string, tr moduleTranslation) (*Module, error) {
+	if !tr.Admitted() {
+		return nil, fmt.Errorf("kernel: module %q refused: translation carries no admission proof", name)
+	}
+	if !tr.Verify() {
+		return nil, fmt.Errorf("kernel: module %q refused: translation signature mismatch", name)
+	}
+	return &Module{Name: name, Translation: tr, kernel: k}, nil
 }
 
 // RunModuleFunc executes a loaded module function in the context of the

@@ -1,0 +1,85 @@
+package vir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrintRoundTrip guards the canonicalization property that
+// code signing depends on: Translation.Signature hashes FormatModule
+// output, so the printed form must be a fixed point — parse(format(m))
+// must succeed and reprint byte-identically. A canonicalization bug
+// here would let two different texts of the "same" module carry
+// different signatures (or worse, the same signature for different
+// code).
+func FuzzParsePrintRoundTrip(f *testing.F) {
+	seeds := []string{
+		"module m\nfunc f(0 params) {\nentry:\n  ret 0x0\n}\n",
+		"module inst\nfunc g(2 params) sandboxed labeled {\nentry:\n  cfi.label 0xcf1\n  %r2 = maskghost %r0\n  %r3 = load8 [%r2]\n  store8 [%r2], %r3\n  cfi.ret %r3\n}\n",
+		"module app\nfunc h(1 params) mmapmasked {\nentry:\n  %r1 = call mmap(0x0, 0x1000)\n  %r2 = maskghost %r1\n  memcpy [%r2], [%r2], 0x10\n  ret %r2\n}\n",
+		"module flow\nfunc loop(1 params) translated {\nentry:\n  %r1 = const 0x0\n  br head\nhead:\n  %r2 = cmplt %r1, %r0\n  condbr %r2, body, done\nbody:\n  %r1 = add %r1, 0x1\n  br head\ndone:\n  %r3 = select %r2, %r1, 0xff\n  cfi.ret %r3\n}\n",
+		"module io\nfunc drv(0 params) {\nentry:\n  %r0 = portin 0x60\n  portout 0x61, %r0\n  %r1 = funcaddr drv\n  %r2 = callind %r1(%r0)\n  %r3 = cfi.callind %r1()\n  asm \"cli\"\n  ret %r3\n}\n",
+		"module ops\nfunc alu(2 params) {\nentry:\n  %r2 = sub %r0, %r1\n  %r3 = mul %r2, 0x3\n  %r4 = and %r3, %r0\n  %r5 = or %r4, %r1\n  %r6 = xor %r5, 0xff\n  %r7 = shl %r6, 0x2\n  %r8 = shr %r7, 0x1\n  %r9 = cmpeq %r8, %r0\n  %r10 = cmpne %r8, %r0\n  %r11 = cmpge %r8, %r0\n  %r12 = mov %r11\n  ret %r12\n}\n",
+		"module empty\n",
+		"module bad\nfunc broken(",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ParseModule(text)
+		if err != nil {
+			return // not parseable: no canonical form to defend
+		}
+		canon := FormatModule(m)
+		m2, err := ParseModule(canon)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\n--- printed:\n%s", err, canon)
+		}
+		again := FormatModule(m2)
+		if canon != again {
+			t.Fatalf("printed form is not a fixed point\n--- first:\n%s--- second:\n%s", canon, again)
+		}
+		// The signature-relevant identity must survive: same functions,
+		// same flags, same instruction counts.
+		if m2.Name != m.Name || len(m2.Funcs) != len(m.Funcs) {
+			t.Fatalf("module identity changed: %q/%d vs %q/%d",
+				m.Name, len(m.Funcs), m2.Name, len(m2.Funcs))
+		}
+		for i, fn := range m.Funcs {
+			fn2 := m2.Funcs[i]
+			if fn2.Name != fn.Name || fn2.NParams != fn.NParams ||
+				fn2.Sandboxed != fn.Sandboxed || fn2.Labeled != fn.Labeled ||
+				fn2.MmapMasked != fn.MmapMasked || fn2.Translated != fn.Translated ||
+				len(fn2.Blocks) != len(fn.Blocks) {
+				t.Fatalf("function %d changed across round-trip:\n%s\nvs\n%s",
+					i, Format(fn), Format(fn2))
+			}
+		}
+	})
+}
+
+// TestRoundTripSeedsDirectly keeps the fuzz seeds exercised in plain
+// `go test` runs (fuzz targets only replay the corpus when fuzzing
+// machinery is available).
+func TestRoundTripSeedsDirectly(t *testing.T) {
+	m := NewModule("direct")
+	b := NewFunction("f", 2)
+	v := b.Load(b.Param(0), 4)
+	b.Store(b.Param(1), v, 4)
+	b.Ret(v)
+	if err := m.AddFunc(b.Fn()); err != nil {
+		t.Fatal(err)
+	}
+	text := FormatModule(m)
+	m2, err := ParseModule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatModule(m2); got != text {
+		t.Fatalf("round trip not canonical:\n%s\nvs\n%s", text, got)
+	}
+	if !strings.Contains(text, "load4") || !strings.Contains(text, "store4") {
+		t.Fatalf("unexpected format output:\n%s", text)
+	}
+}

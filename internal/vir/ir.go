@@ -160,10 +160,12 @@ type Function struct {
 
 	// Instrumentation / translation state, set by the compiler:
 	// Labeled means the CFI pass placed a label at function entry;
-	// Sandboxed means the load/store pass ran; Translated means the
-	// trusted translator accepted and signed the function.
+	// Sandboxed means the load/store pass ran; MmapMasked means the
+	// application-side mmap-return masking pass ran; Translated means
+	// the trusted translator accepted and signed the function.
 	Labeled    bool
 	Sandboxed  bool
+	MmapMasked bool
 	Translated bool
 }
 
@@ -240,6 +242,7 @@ func (m *Module) Clone() *Module {
 			NRegs:      f.NRegs,
 			Labeled:    f.Labeled,
 			Sandboxed:  f.Sandboxed,
+			MmapMasked: f.MmapMasked,
 			Translated: f.Translated,
 		}
 		for _, b := range f.Blocks {

@@ -116,6 +116,8 @@ func (p *parser) function() (*Function, error) {
 			f.Sandboxed = true
 		case "labeled":
 			f.Labeled = true
+		case "mmapmasked":
+			f.MmapMasked = true
 		case "translated":
 			f.Translated = true
 		default:

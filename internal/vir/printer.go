@@ -16,6 +16,9 @@ func Format(f *Function) string {
 	if f.Labeled {
 		flags += " labeled"
 	}
+	if f.MmapMasked {
+		flags += " mmapmasked"
+	}
 	if f.Translated {
 		flags += " translated"
 	}
