@@ -1,25 +1,55 @@
 // Command vgbench regenerates every table and figure of the paper's
 // evaluation (§8) plus the §7 security matrix, printing measured values
 // beside the paper's. Run with -quick for a fast pass. -json records
-// the run as BENCH_<date>.json (virtual overheads + host ns per
-// experiment) so the perf trajectory is machine-readable across PRs.
+// the run as BENCH_<date>.json (virtual overheads + host ns and host
+// allocations per experiment) so the perf trajectory is
+// machine-readable across PRs. -cpuprofile/-memprofile capture pprof
+// data for simulator-efficiency work, and -engine selects the IR
+// execution engine (pre-linked by default, reference interpreter for
+// differential measurement).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/kernel"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use small iteration counts")
 	only := flag.String("only", "", "run a single experiment: t2|t3|t4|t5|f2|f3|f4|sec")
 	csvDir := flag.String("csv", "", "also write machine-readable results to this directory")
-	jsonOut := flag.Bool("json", false, "also write BENCH_<date>.json with overheads and host ns per experiment")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<date>.json with overheads, host ns, and host allocs per experiment")
+	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	eng, err := kernel.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kernel.SetDefaultEngine(eng)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc := experiments.FullScale()
 	scaleName := "full"
@@ -41,16 +71,29 @@ func main() {
 		Date:  time.Now().Format("2006-01-02"),
 		Scale: scaleName,
 	}
-	record := func(name string, hostNs int64, metrics map[string]float64) {
+	// timed runs one experiment and captures its host cost: wall clock
+	// plus allocation count/bytes (MemStats deltas, so they include
+	// everything the simulator allocated while producing the result).
+	timed := func(fn func()) (ns, allocs, allocBytes int64) {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		fn()
+		ns = time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&m1)
+		return ns, int64(m1.Mallocs - m0.Mallocs), int64(m1.TotalAlloc - m0.TotalAlloc)
+	}
+	record := func(name string, ns, allocs, allocBytes int64, metrics map[string]float64) {
 		report.Entries = append(report.Entries, experiments.BenchEntry{
-			Name: name, HostNs: hostNs, Metrics: metrics,
+			Name: name, HostNs: ns,
+			HostAllocs: allocs, HostAllocBytes: allocBytes,
+			Metrics: metrics,
 		})
 	}
 
 	if run("t2") {
-		start := time.Now()
-		rows := experiments.Table2(sc)
-		ns := time.Since(start).Nanoseconds()
+		var rows []experiments.T2Row
+		ns, allocs, ab := timed(func() { rows = experiments.Table2(sc) })
 		fmt.Println(experiments.FormatTable2(rows))
 		if *csvDir != "" {
 			export(experiments.ExportTable2(*csvDir, rows))
@@ -59,12 +102,11 @@ func main() {
 		for _, r := range rows {
 			metrics[metricKey(r.Test)+"_x"] = r.Overhead
 		}
-		record("table2_lmbench", ns, metrics)
+		record("table2_lmbench", ns, allocs, ab, metrics)
 	}
 	if run("t3") {
-		start := time.Now()
-		rows := experiments.Table3(sc)
-		ns := time.Since(start).Nanoseconds()
+		var rows []experiments.FileRateRow
+		ns, allocs, ab := timed(func() { rows = experiments.Table3(sc) })
 		fmt.Println(experiments.FormatFileRates("Table 3. Files deleted per second", rows))
 		if *csvDir != "" {
 			export(experiments.ExportFileRates(*csvDir, "table3", rows))
@@ -73,12 +115,11 @@ func main() {
 		for _, r := range rows {
 			metrics[fmt.Sprintf("delete_%db_x", r.SizeBytes)] = r.Overhead
 		}
-		record("table3_file_delete", ns, metrics)
+		record("table3_file_delete", ns, allocs, ab, metrics)
 	}
 	if run("t4") {
-		start := time.Now()
-		rows := experiments.Table4(sc)
-		ns := time.Since(start).Nanoseconds()
+		var rows []experiments.FileRateRow
+		ns, allocs, ab := timed(func() { rows = experiments.Table4(sc) })
 		fmt.Println(experiments.FormatFileRates("Table 4. Files created per second", rows))
 		if *csvDir != "" {
 			export(experiments.ExportFileRates(*csvDir, "table4", rows))
@@ -87,55 +128,50 @@ func main() {
 		for _, r := range rows {
 			metrics[fmt.Sprintf("create_%db_x", r.SizeBytes)] = r.Overhead
 		}
-		record("table4_file_create", ns, metrics)
+		record("table4_file_create", ns, allocs, ab, metrics)
 	}
 	if run("f2") {
-		start := time.Now()
-		pts := experiments.Figure2(sc)
-		ns := time.Since(start).Nanoseconds()
+		var pts []experiments.BandwidthPoint
+		ns, allocs, ab := timed(func() { pts = experiments.Figure2(sc) })
 		fmt.Println(experiments.FormatSeries("Figure 2. thttpd bandwidth (native vs Virtual Ghost kernel)",
 			pts, "native", "vghost"))
 		if *csvDir != "" {
 			export(experiments.ExportSeries(*csvDir, "figure2", pts))
 		}
-		record("figure2_thttpd", ns, seriesMetrics(pts))
+		record("figure2_thttpd", ns, allocs, ab, seriesMetrics(pts))
 	}
 	if run("f3") {
-		start := time.Now()
-		pts := experiments.Figure3(sc)
-		ns := time.Since(start).Nanoseconds()
+		var pts []experiments.BandwidthPoint
+		ns, allocs, ab := timed(func() { pts = experiments.Figure3(sc) })
 		fmt.Println(experiments.FormatSeries("Figure 3. sshd transfer rate (native vs Virtual Ghost kernel)",
 			pts, "native", "vghost"))
 		if *csvDir != "" {
 			export(experiments.ExportSeries(*csvDir, "figure3", pts))
 		}
-		record("figure3_sshd", ns, seriesMetrics(pts))
+		record("figure3_sshd", ns, allocs, ab, seriesMetrics(pts))
 	}
 	if run("f4") {
-		start := time.Now()
-		pts := experiments.Figure4(sc)
-		ns := time.Since(start).Nanoseconds()
+		var pts []experiments.BandwidthPoint
+		ns, allocs, ab := timed(func() { pts = experiments.Figure4(sc) })
 		fmt.Println(experiments.FormatSeries("Figure 4. ssh client transfer rate on Virtual Ghost (original vs ghosting)",
 			pts, "original", "ghosting"))
 		if *csvDir != "" {
 			export(experiments.ExportSeries(*csvDir, "figure4", pts))
 		}
-		record("figure4_ghosting_ssh", ns, seriesMetrics(pts))
+		record("figure4_ghosting_ssh", ns, allocs, ab, seriesMetrics(pts))
 	}
 	if run("t5") {
-		start := time.Now()
-		res := experiments.Table5(sc)
-		ns := time.Since(start).Nanoseconds()
+		var res experiments.T5Result
+		ns, allocs, ab := timed(func() { res = experiments.Table5(sc) })
 		fmt.Println(experiments.FormatTable5(res, sc.PostmarkTxns))
 		if *csvDir != "" {
 			export(experiments.ExportTable5(*csvDir, res, sc.PostmarkTxns))
 		}
-		record("table5_postmark", ns, map[string]float64{"postmark_x": res.Overhead})
+		record("table5_postmark", ns, allocs, ab, map[string]float64{"postmark_x": res.Overhead})
 	}
 	if run("sec") {
-		start := time.Now()
-		rows := experiments.SecurityMatrix()
-		ns := time.Since(start).Nanoseconds()
+		var rows []experiments.SecurityRow
+		ns, allocs, ab := timed(func() { rows = experiments.SecurityMatrix() })
 		fmt.Println(experiments.FormatSecurity(rows))
 		if *csvDir != "" {
 			export(experiments.ExportSecurity(*csvDir, rows))
@@ -146,7 +182,7 @@ func main() {
 				defended++
 			}
 		}
-		record("security_matrix", ns, map[string]float64{
+		record("security_matrix", ns, allocs, ab, map[string]float64{
 			"attacks":  float64(len(rows)),
 			"defended": float64(defended),
 		})
@@ -164,6 +200,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }
 

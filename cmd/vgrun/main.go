@@ -24,7 +24,15 @@ func main() {
 	modeFlag := flag.String("mode", "vghost", "kernel configuration: native|vghost|shadow")
 	app := flag.String("app", "hello", "workload: hello|keygen|postmark|lmbench")
 	n := flag.Int("n", 2000, "transaction/iteration count")
+	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	flag.Parse()
+
+	eng, err := kernel.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kernel.SetDefaultEngine(eng)
 
 	var mode repro.Mode
 	switch *modeFlag {

@@ -85,7 +85,16 @@ type CodeSpace struct {
 	next   uint64
 	byAddr map[uint64]*vir.Function
 	byName map[string]uint64
+	// epoch counts binding changes (translations laid out, foreign code
+	// planted). Pre-linked execution engines key their code caches on it
+	// — the same discipline the memory walk cache applies to page-table
+	// mutation.
+	epoch uint64
 }
+
+// Epoch returns the current code-binding epoch. It moves whenever the
+// symbol→address→function bindings can have changed.
+func (cs *CodeSpace) Epoch() uint64 { return cs.epoch }
 
 // NewCodeSpace creates an empty kernel code space.
 func NewCodeSpace() *CodeSpace {
@@ -122,6 +131,7 @@ func (cs *CodeSpace) InKernelCode(addr uint64) bool {
 func (cs *CodeSpace) PlantForeign(addr uint64, f *vir.Function) {
 	cs.byAddr[addr] = f
 	cs.byName[f.Name] = addr
+	cs.epoch++
 }
 
 // Translator compiles modules per its Options and lays them out in a
@@ -194,6 +204,7 @@ func (t *Translator) Translate(m *vir.Module) (*Translation, error) {
 		tr.byAddr[addr] = f
 	}
 	tr.top = t.Space.next
+	t.Space.epoch++
 	tr.Signature = sha256.Sum256([]byte(vir.FormatModule(code)))
 	return tr, nil
 }

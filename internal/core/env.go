@@ -104,6 +104,12 @@ func (e *moduleEnv) InKernelCode(addr uint64) bool {
 	return e.h.xlator.Space.InKernelCode(addr)
 }
 
+// CodeEpoch implements vir.CodeEpochs: the pre-linked engine flushes
+// its code cache whenever the code space's bindings change.
+func (e *moduleEnv) CodeEpoch() uint64 {
+	return e.h.xlator.Space.Epoch()
+}
+
 func (e *moduleEnv) PortIn(port uint16) (uint64, error) {
 	if e.vm != nil {
 		return e.vm.PortIn(port)
@@ -121,4 +127,7 @@ func (e *moduleEnv) PortOut(port uint16, v uint64) error {
 	return nil
 }
 
-var _ vir.Env = (*moduleEnv)(nil)
+var (
+	_ vir.Env        = (*moduleEnv)(nil)
+	_ vir.CodeEpochs = (*moduleEnv)(nil)
+)

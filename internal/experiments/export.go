@@ -96,12 +96,16 @@ func ExportSecurity(dir string, rows []SecurityRow) error {
 }
 
 // BenchEntry is one experiment's machine-readable result: the virtual
-// overhead metrics the paper reports plus the host wall-clock time the
-// simulator spent producing them.
+// overhead metrics the paper reports plus the host wall-clock time and
+// host allocations the simulator spent producing them. Host costs are
+// simulator-efficiency numbers (tracked across PRs); the metrics are
+// paper results and must not move.
 type BenchEntry struct {
-	Name    string             `json:"name"`
-	HostNs  int64              `json:"host_ns"`
-	Metrics map[string]float64 `json:"metrics"`
+	Name           string             `json:"name"`
+	HostNs         int64              `json:"host_ns"`
+	HostAllocs     int64              `json:"host_allocs,omitempty"`
+	HostAllocBytes int64              `json:"host_alloc_bytes,omitempty"`
+	Metrics        map[string]float64 `json:"metrics"`
 }
 
 // BenchReport is the cross-PR perf trajectory record written by

@@ -1,0 +1,177 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vir"
+)
+
+// These tests run module code through the full kernel pipeline
+// (translator → code space → RunModuleFunc) on two identically booted
+// systems, one per execution engine, and assert the engines are
+// indistinguishable: same results, same errors, and the same
+// virtual-clock advance for every call.
+
+// bootEnginePair boots two kernels in the given mode, the first on the
+// pre-linked engine and the second on the reference interpreter.
+func bootEnginePair(t *testing.T, mode core.Mode) (*Kernel, *Kernel) {
+	t.Helper()
+	kL := bootKernel(t, mode)
+	kL.SetEngine(EngineLinked)
+	kR := bootKernel(t, mode)
+	kR.SetEngine(EngineReference)
+	return kL, kR
+}
+
+// runOnBoth invokes the same module function on both kernels and
+// asserts result, error, and clock-delta equality. Returns the common
+// result.
+func runOnBoth(t *testing.T, kL, kR *Kernel, modOf func(*Kernel) *Module, fn string, args ...uint64) uint64 {
+	t.Helper()
+	c0 := kL.M.Clock.Cycles()
+	vL, errL := kL.RunModuleFunc(modOf(kL), fn, args...)
+	dL := kL.M.Clock.Cycles() - c0
+
+	c0 = kR.M.Clock.Cycles()
+	vR, errR := kR.RunModuleFunc(modOf(kR), fn, args...)
+	dR := kR.M.Clock.Cycles() - c0
+
+	errs := func(err error) string {
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	if vL != vR || errs(errL) != errs(errR) {
+		t.Fatalf("%s: engines disagree: linked (%#x, %v) vs reference (%#x, %v)",
+			fn, vL, errL, vR, errR)
+	}
+	if dL != dR {
+		t.Fatalf("%s: clock divergence: linked %d cycles, reference %d", fn, dL, dR)
+	}
+	return vL
+}
+
+func TestEnginesAgreeOnCoreModule(t *testing.T) {
+	for _, mode := range modes() {
+		kL, kR := bootEnginePair(t, mode)
+		core := func(k *Kernel) *Module { return k.coreMod }
+
+		const buf = 0xffffff8000100000 // kernel scratch
+		runOnBoth(t, kL, kR, core, "kmemset", buf, 0xab, 64)
+		runOnBoth(t, kL, kR, core, "kmemset", buf+64, 0xab, 64)
+		if eq := runOnBoth(t, kL, kR, core, "kmemcmp", buf, buf+64, 64); eq != 0 {
+			t.Fatalf("[%v] kmemcmp of equal buffers = %d", mode, eq)
+		}
+		sum := runOnBoth(t, kL, kR, core, "kchecksum", buf, 64)
+		if sum == 0 {
+			t.Fatalf("[%v] kchecksum = 0", mode)
+		}
+		runOnBoth(t, kL, kR, core, "kstrlen", buf+200)
+	}
+}
+
+// TestEnginesAgreeAcrossModuleLoad is the kernel-level linked-code
+// invalidation scenario: a module calls a symbol that is unresolved at
+// first (dispatching to a registered kernel service), then a later
+// module load binds that symbol in the code space. The pre-linked
+// engine must notice the epoch change and re-link; the reference
+// interpreter re-resolves every call by construction.
+func TestEnginesAgreeAcrossModuleLoad(t *testing.T) {
+	kL, kR := bootEnginePair(t, core.ModeVirtualGhost)
+
+	callerSrc := `module callermod
+func call_helper(0 params) {
+entry:
+  %r0 = call helper()
+  ret %r0
+}
+`
+	helperSrc := `module helpermod
+func helper(0 params) {
+entry:
+  ret 0x2
+}
+`
+	for _, k := range []*Kernel{kL, kR} {
+		k.RegisterIntrinsic("helper", func(*Kernel, []uint64) (uint64, error) {
+			return 1, nil
+		})
+	}
+
+	load := func(k *Kernel, src string) *Module {
+		m, err := vir.ParseModule(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := k.LoadModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mod
+	}
+	callerL, callerR := load(kL, callerSrc), load(kR, callerSrc)
+	caller := func(k *Kernel) *Module {
+		if k == kL {
+			return callerL
+		}
+		return callerR
+	}
+
+	// Unbound: both engines dispatch to the kernel service.
+	if got := runOnBoth(t, kL, kR, caller, "call_helper"); got != 1 {
+		t.Fatalf("before load: call_helper = %d, want 1 (intrinsic)", got)
+	}
+	// Run twice so the linked engine is serving from its cache.
+	runOnBoth(t, kL, kR, caller, "call_helper")
+
+	// Bind helper in the code space; the epoch moves and cached linked
+	// code must be flushed.
+	load(kL, helperSrc)
+	load(kR, helperSrc)
+	if got := runOnBoth(t, kL, kR, caller, "call_helper"); got != 2 {
+		t.Fatalf("after load: call_helper = %d, want 2 (module function)", got)
+	}
+}
+
+// TestEnginesAgreeOnModulePanic pins error propagation out of kernel
+// intrinsics through both engines.
+func TestEnginesAgreeOnModulePanic(t *testing.T) {
+	kL, kR := bootEnginePair(t, core.ModeVirtualGhost)
+	src := `module panics
+func go_down(1 params) {
+entry:
+  %r1 = call panic(%r0)
+  ret %r1
+}
+`
+	mods := map[*Kernel]*Module{}
+	for _, k := range []*Kernel{kL, kR} {
+		m, err := vir.ParseModule(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := k.LoadModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods[k] = mod
+	}
+	c0 := kL.M.Clock.Cycles()
+	_, errL := kL.RunModuleFunc(mods[kL], "go_down", 7)
+	dL := kL.M.Clock.Cycles() - c0
+	c0 = kR.M.Clock.Cycles()
+	_, errR := kR.RunModuleFunc(mods[kR], "go_down", 7)
+	dR := kR.M.Clock.Cycles() - c0
+	if errL == nil || errR == nil || errL.Error() != errR.Error() {
+		t.Fatalf("panic errors differ: %v vs %v", errL, errR)
+	}
+	if !strings.Contains(errL.Error(), "module panic (7)") {
+		t.Fatalf("unexpected panic error: %v", errL)
+	}
+	if dL != dR {
+		t.Fatalf("clock divergence on panic: %d vs %d", dL, dR)
+	}
+}

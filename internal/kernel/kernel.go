@@ -138,8 +138,71 @@ type Kernel struct {
 	// intrinsics.
 	modLogBuf []byte
 
+	// Module execution engines: the pre-linked engine (default) and the
+	// tree-walking reference interpreter, selected by engineKind. Both
+	// are per-kernel so step budgets and code caches follow the kernel's
+	// lifetime. modEnvs caches the module Env per address-space root so
+	// steady-state module calls allocate nothing on the host.
+	engineKind EngineKind
+	engine     *vir.Engine
+	refInterps map[vir.Env]*vir.Interp
+	modEnvs    map[hw.Frame]vir.Env
+
+	// intrinsics is the kernel-service linkage table for module code,
+	// built once at boot (see modintr.go).
+	intrinsics map[string]IntrinsicHandler
+
 	stats Stats
 }
+
+// EngineKind selects how the kernel executes module IR.
+type EngineKind int
+
+const (
+	// EngineLinked is the pre-linked engine (internal/vir/engine.go):
+	// functions are lowered once to a flat pre-resolved form.
+	EngineLinked EngineKind = iota
+	// EngineReference is the original tree-walking interpreter, kept as
+	// the semantic reference.
+	EngineReference
+)
+
+// String names the engine kind as accepted by ParseEngine.
+func (e EngineKind) String() string {
+	if e == EngineReference {
+		return "reference"
+	}
+	return "linked"
+}
+
+// ParseEngine converts a command-line engine name to an EngineKind.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "linked":
+		return EngineLinked, nil
+	case "reference":
+		return EngineReference, nil
+	}
+	return EngineLinked, fmt.Errorf("kernel: unknown engine %q (want linked or reference)", s)
+}
+
+// defaultEngine is the engine new kernels boot with.
+var defaultEngine = EngineLinked
+
+// SetDefaultEngine changes the engine used by subsequently booted
+// kernels and returns the previous default. cmd/vgrun and cmd/vgbench
+// use it to honour their -engine flag.
+func SetDefaultEngine(e EngineKind) EngineKind {
+	old := defaultEngine
+	defaultEngine = e
+	return old
+}
+
+// SetEngine switches this kernel's module execution engine.
+func (k *Kernel) SetEngine(e EngineKind) { k.engineKind = e }
+
+// Engine reports which engine this kernel executes module IR with.
+func (k *Kernel) Engine() EngineKind { return k.engineKind }
 
 // Stats counts kernel events for tests and experiment reporting.
 type Stats struct {
@@ -185,7 +248,12 @@ func Boot(hal core.HAL) (*Kernel, error) {
 		programs:     make(map[string]*Program),
 		planted:      make(map[uint64]PlantedFunc),
 		swappedGhost: make(map[int]map[hw.Virt][]byte),
+		engineKind:   defaultEngine,
+		engine:       vir.NewEngine(),
+		refInterps:   make(map[vir.Env]*vir.Interp),
+		modEnvs:      make(map[hw.Frame]vir.Env),
 	}
+	k.installIntrinsics()
 	hal.RegisterFrameSource(frameSource{m: k.M.Mem})
 	hal.RegisterTrapHandler(k.trapEntry)
 	fs, err := Mkfs(k, k.M.Disk)
@@ -385,7 +453,33 @@ func (k *Kernel) RunModuleFunc(mod *Module, fn string, args ...uint64) (uint64, 
 	if k.cur != nil {
 		root = k.cur.root
 	}
+	env := k.moduleEnv(root)
+	if k.engineKind == EngineReference {
+		return k.refInterp(env).Call(f, args...)
+	}
+	return k.engine.Call(env, f, args...)
+}
+
+// moduleEnv returns the (cached) execution environment for module code
+// under the given address-space root. Envs only capture the HAL and the
+// root, so they stay valid for the kernel's lifetime.
+func (k *Kernel) moduleEnv(root hw.Frame) vir.Env {
+	if env, ok := k.modEnvs[root]; ok {
+		return env
+	}
 	env := k.HAL.ModuleEnv(root, k.moduleIntrinsics)
+	k.modEnvs[root] = env
+	return env
+}
+
+// refInterp returns the (cached) reference interpreter for an Env.
+// Caching keeps the step budget per top-level run even when a host
+// intrinsic re-enters module code through RunModuleFunc.
+func (k *Kernel) refInterp(env vir.Env) *vir.Interp {
+	if ip, ok := k.refInterps[env]; ok {
+		return ip
+	}
 	ip := vir.NewInterp(env)
-	return ip.Call(f, args...)
+	k.refInterps[env] = ip
+	return ip
 }

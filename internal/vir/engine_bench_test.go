@@ -1,0 +1,63 @@
+package vir
+
+import "testing"
+
+// benchWorkload builds a call-heavy loop: the shape dominated by the
+// costs the pre-linked engine removes (FindBlock per branch, string
+// dispatch and fresh frames per call).
+func benchWorkload(env *memEnv) *Function {
+	leaf := NewFunction("leaf", 2)
+	leaf.Ret(leaf.Add(leaf.Param(0), leaf.Param(1)))
+	env.addFunc(leaf.Fn())
+
+	b := NewFunction("work", 1)
+	n := b.Param(0)
+	i := b.Mov(Imm(0))
+	acc := b.Mov(Imm(0))
+	b.Br("loop")
+	b.NewBlock("loop")
+	c := b.CmpLT(i, n)
+	b.CondBr(c, "body", "done")
+	b.NewBlock("body")
+	b.Assign(acc, b.Call("leaf", acc, i))
+	b.Assign(acc, b.Xor(acc, Imm(0x9e37)))
+	b.Assign(i, b.Add(i, Imm(1)))
+	b.Br("loop")
+	b.NewBlock("done")
+	b.Ret(acc)
+	env.addFunc(b.Fn())
+	return b.Fn()
+}
+
+// BenchmarkEngineCallLoop measures the pre-linked engine on the
+// call-heavy loop; compare with BenchmarkInterpCallLoop.
+func BenchmarkEngineCallLoop(b *testing.B) {
+	env := newMemEnv()
+	fn := benchWorkload(env)
+	eng := NewEngine()
+	if _, err := eng.Call(env, fn, 1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Call(env, fn, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpCallLoop is the reference interpreter on the same
+// workload.
+func BenchmarkInterpCallLoop(b *testing.B) {
+	env := newMemEnv()
+	fn := benchWorkload(env)
+	ip := NewInterp(env)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Call(fn, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -65,6 +65,7 @@ type Interp struct {
 	Env      Env
 	MaxSteps int
 	steps    int
+	active   bool
 }
 
 // NewInterp creates an interpreter with the default step budget.
@@ -87,8 +88,17 @@ func (fr *frame) val(v Value) uint64 {
 }
 
 // Call runs fn with the given arguments and returns its return value.
+// The step budget is per top-level run: a re-entrant Call (a host
+// intrinsic invoking module code again) shares the outer run's budget
+// instead of refreshing it, so an intrinsic-assisted loop cannot dodge
+// the runaway guard.
 func (ip *Interp) Call(fn *Function, args ...uint64) (uint64, error) {
+	if ip.active {
+		return ip.exec(fn, args, 0)
+	}
+	ip.active = true
 	ip.steps = 0
+	defer func() { ip.active = false }()
 	return ip.exec(fn, args, 0)
 }
 
@@ -325,10 +335,17 @@ func (ip *Interp) dispatchCall(sym string, args []uint64, depth int) (uint64, er
 // the target must be in kernel code space and must be the entry of a
 // function that carries a CFI label.
 func (ip *Interp) cfiCheckTarget(from string, target uint64) error {
-	if !ip.Env.InKernelCode(target) {
+	return cfiCheck(ip.Env, from, target)
+}
+
+// cfiCheck is the engine-independent CFI target check shared by the
+// reference interpreter and the pre-linked engine, so both construct
+// identical violations.
+func cfiCheck(env Env, from string, target uint64) error {
+	if !env.InKernelCode(target) {
 		return &CFIViolation{Fn: from, Target: target, Reason: "target outside kernel code space"}
 	}
-	callee, ok := ip.Env.FuncByAddr(target)
+	callee, ok := env.FuncByAddr(target)
 	if !ok {
 		return &CFIViolation{Fn: from, Target: target, Reason: "target is not a function entry"}
 	}

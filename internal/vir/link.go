@@ -1,0 +1,255 @@
+package vir
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// This file is the linking/lowering stage of the pre-linked execution
+// engine (engine.go). It compiles a *Function once into a flat,
+// pre-resolved form so the hot loop never re-derives anything the IR
+// already fixes:
+//
+//   - block names become integer code offsets (no FindBlock per branch),
+//   - direct-call symbols become *linkedFn pointers or pre-interned
+//     intrinsic names (no double string-map lookup per call),
+//   - funcaddr symbols become immediates where the code space already
+//     binds them,
+//   - the deterministic clock charges of each straight-line segment are
+//     summed at link time and applied with a single Clock.Advance.
+//
+// Lowered code must stay *observably identical* to the reference
+// interpreter: same return values, same errors (strings included), and
+// a bit-identical virtual clock at every observation point. The clock
+// is observable wherever the Env is entered (loads, stores, memcpy,
+// port I/O, intrinsics) and wherever execution can stop (errors). The
+// linker therefore batches charges per SEGMENT, not per block: a
+// segment is a maximal instruction run in which only the final
+// instruction may fault, call out, or transfer control, so by the time
+// a segment is entered every instruction in it is certain to execute
+// and the summed charge is exact. The step budget is also accounted
+// per segment, with a per-instruction slow path when the budget
+// expires inside one (engine.go).
+
+// CodeEpochs is an optional Env capability: an Env whose code bindings
+// can change (new translations laid out, foreign code planted) reports
+// a monotonically increasing epoch, and the engine flushes its linked-
+// code cache whenever the epoch moves — mirroring the walk-cache
+// invalidation discipline of the memory fast paths. Envs that do not
+// implement it are assumed to have static symbol bindings for the
+// lifetime of the Engine.
+type CodeEpochs interface {
+	CodeEpoch() uint64
+}
+
+// Internal pseudo-opcodes produced by the linker. They live above the
+// public opcode range and never appear in IR.
+const (
+	// opFellOff: execution ran past the end of a block (Sym holds the
+	// block name for the error message).
+	opFellOff Opcode = 0x80 + iota
+	// opCallIntrinsic: a direct call whose symbol did not resolve in
+	// the code space at link time — dispatches straight to
+	// Env.Intrinsic.
+	opCallIntrinsic
+	// opCorruptReturn: the __corrupt_return stack-smash model.
+	opCorruptReturn
+	// opFuncAddrImm: a funcaddr whose symbol resolved at link time;
+	// Imm holds the code address (pure, CostALU folded).
+	opFuncAddrImm
+	// opUnimpl: an opcode the linker does not know; reproduces the
+	// reference "unimplemented opcode" error at execution time.
+	opUnimpl
+)
+
+// linkedInstr is one lowered instruction. Branch targets are code
+// indices, direct calls carry the resolved callee, and segment heads
+// carry the batched step/clock accounting for their segment.
+type linkedInstr struct {
+	op   Opcode
+	dst  int
+	a    Value
+	b    Value
+	c    Value
+	imm  uint64
+	size int
+	sym  string
+	args []Value
+
+	t1, t2 int       // lowered Blk1/Blk2 (indices into linkedFn.code)
+	callee *linkedFn // pre-resolved direct-call target
+
+	// charge is this instruction's own deterministic pre-charge (the
+	// cycles the reference interpreter advances unconditionally before
+	// the instruction can fail or call out). Used only by the
+	// step-limit slow path.
+	charge uint64
+	// segLen > 0 marks a segment head; it counts the instructions in
+	// the segment and segCharge sums their charges.
+	segLen    int
+	segCharge uint64
+}
+
+// linkedFn is a function lowered to a flat code array.
+type linkedFn struct {
+	fn   *Function
+	code []linkedInstr
+}
+
+// instrCharge returns the deterministic pre-charge of a lowered
+// instruction: the cycles the reference interpreter advances before
+// the instruction can observably fail or enter the Env. Instructions
+// whose charges are conditional (funcaddr resolved at run time) or
+// internal to the Env (loads, stores, port I/O) charge zero here.
+func instrCharge(op Opcode) uint64 {
+	switch op {
+	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
+		opFuncAddrImm:
+		return hw.CostALU
+	case OpMaskGhost:
+		return hw.CostMaskCheck
+	case OpCFILabel:
+		return hw.CostCFILabel
+	case OpBr, OpCondBr:
+		return hw.CostBranch
+	case OpCall, opCallIntrinsic, opCorruptReturn, OpCallInd, OpRet:
+		return hw.CostCall
+	case OpCFICallInd, OpCFIRet:
+		return hw.CostCall + hw.CostCFICheck
+	}
+	return 0
+}
+
+// endsSegment reports whether a lowered instruction must terminate its
+// segment: anything that can fault, enter the Env, or transfer control.
+// Only such instructions may sit at a position where the following
+// instruction's execution is not yet certain.
+func endsSegment(op Opcode) bool {
+	switch op {
+	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
+		OpMaskGhost, OpCFILabel, opFuncAddrImm:
+		return false
+	}
+	return true
+}
+
+// link lowers fn against env's current symbol bindings. Direct calls
+// and funcaddrs resolve through the same Env lookups the reference
+// interpreter performs per step; with epoch invalidation (CodeEpochs)
+// the bindings cannot go stale between linking and execution.
+//
+// Branches to unknown blocks panic: the reference interpreter crashes
+// on them too (FindBlock returns nil), and every translator-admitted
+// function has verified branch targets.
+func (e *Engine) link(env Env, fn *Function) *linkedFn {
+	lf := &linkedFn{fn: fn}
+	// Memoize before lowering so recursive and mutually recursive
+	// direct calls link to the function being lowered.
+	e.cache[fn] = lf
+
+	// Pass 1: assign flat code offsets. A block that does not end in a
+	// terminator gets a trailing opFellOff slot so running off its end
+	// reproduces the reference error (and consumes a step, exactly as
+	// the reference loop iteration that detects it does).
+	starts := make(map[string]int, len(fn.Blocks))
+	off := 0
+	for _, b := range fn.Blocks {
+		starts[b.Name] = off
+		off += len(b.Instrs)
+		if n := len(b.Instrs); n == 0 || !isTerminator(b.Instrs[n-1].Op) {
+			off++
+		}
+	}
+	lf.code = make([]linkedInstr, 0, off)
+
+	// Pass 2: lower instructions.
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			lf.code = append(lf.code, e.lower(env, fn, b, &b.Instrs[i], starts))
+		}
+		if n := len(b.Instrs); n == 0 || !isTerminator(b.Instrs[n-1].Op) {
+			lf.code = append(lf.code, linkedInstr{op: opFellOff, sym: b.Name})
+		}
+	}
+
+	// Pass 3: segment accounting. Segments begin at block starts (all
+	// branch targets are block starts) and after any instruction that
+	// can fault, call out, or branch.
+	isStart := make([]bool, len(lf.code))
+	for _, b := range fn.Blocks {
+		isStart[starts[b.Name]] = true
+	}
+	head := 0
+	for i := range lf.code {
+		if i > head && isStart[i] {
+			// Fallthrough into a block start: close the previous
+			// segment here.
+			head = i
+		}
+		lf.code[head].segLen++
+		lf.code[head].segCharge += lf.code[i].charge
+		if endsSegment(lf.code[i].op) {
+			head = i + 1
+		}
+	}
+	return lf
+}
+
+// lower translates one instruction.
+func (e *Engine) lower(env Env, fn *Function, b *Block, in *Instr, starts map[string]int) linkedInstr {
+	li := linkedInstr{
+		op: in.Op, dst: in.Dst, a: in.A, b: in.B, c: in.C,
+		imm: in.Imm, size: in.Size, sym: in.Sym, args: in.Args,
+	}
+	switch in.Op {
+	case OpBr:
+		li.t1 = blockStart(fn, b, in.Blk1, starts)
+	case OpCondBr:
+		li.t1 = blockStart(fn, b, in.Blk1, starts)
+		li.t2 = blockStart(fn, b, in.Blk2, starts)
+	case OpCall:
+		switch {
+		case in.Sym == corruptReturnIntrinsic:
+			li.op = opCorruptReturn
+		default:
+			if addr, ok := env.FuncAddr(in.Sym); ok {
+				if callee, ok := env.FuncByAddr(addr); ok {
+					li.callee = e.linked(env, callee)
+					break
+				}
+			}
+			li.op = opCallIntrinsic
+		}
+	case OpAsm:
+		// Pre-concatenate the intrinsic name the reference builds per
+		// execution.
+		li.sym = "asm:" + in.Sym
+	case OpFuncAddr:
+		if addr, ok := env.FuncAddr(in.Sym); ok {
+			li.op = opFuncAddrImm
+			li.imm = addr
+		}
+	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
+		OpMaskGhost, OpLoad, OpStore, OpMemcpy, OpCallInd, OpCFICallInd,
+		OpRet, OpCFIRet, OpPortIn, OpPortOut, OpCFILabel:
+		// Lowered as-is.
+	default:
+		li.op = opUnimpl
+		li.imm = uint64(in.Op)
+	}
+	li.charge = instrCharge(li.op)
+	return li
+}
+
+func blockStart(fn *Function, b *Block, name string, starts map[string]int) int {
+	t, ok := starts[name]
+	if !ok {
+		panic(fmt.Sprintf("vir: link %s: branch in block %s to unknown block %q",
+			fn.Name, b.Name, name))
+	}
+	return t
+}
