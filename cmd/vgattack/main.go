@@ -5,16 +5,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	cpus := flag.Int("cpus", 2, "CPUs for the SMP attack vectors (stale TLB needs >= 2)")
+	flag.Parse()
+	if *cpus < 2 {
+		fmt.Fprintln(os.Stderr, "vgattack: -cpus must be at least 2 (the stale-TLB vector needs a remote CPU)")
+		os.Exit(2)
+	}
 	fmt.Println("Running the hostile-OS attack suite against ssh-agent")
 	fmt.Println("(every attack is mounted on both configurations)")
 	fmt.Println()
-	rows := experiments.SecurityMatrix()
+	rows := experiments.SecurityMatrixWithCPUs(*cpus)
 	fmt.Print(experiments.FormatSecurity(rows))
 	defended := 0
 	for _, r := range rows {

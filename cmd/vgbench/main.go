@@ -23,7 +23,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use small iteration counts")
-	only := flag.String("only", "", "run a single experiment: t2|t3|t4|t5|f2|f3|f4|sec")
+	only := flag.String("only", "", "run a single experiment: t2|t3|t4|t5|f2|f3|f4|sec|cpu")
+	cpus := flag.Int("cpus", 8, "top of the SMP sweep for the cpu-scaling experiment (1/2/4/8 up to this)")
+	parallel := flag.Bool("parallel", false, "fan independent measurements out over host goroutines (identical results, less wall-clock)")
 	csvDir := flag.String("csv", "", "also write machine-readable results to this directory")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<date>.json with overheads, host ns, and host allocs per experiment")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
@@ -57,6 +59,7 @@ func main() {
 		sc = experiments.QuickScale()
 		scaleName = "quick"
 	}
+	sc.Parallel = *parallel
 
 	run := func(name string) bool { return *only == "" || *only == name }
 
@@ -68,8 +71,9 @@ func main() {
 	}
 
 	report := experiments.BenchReport{
-		Date:  time.Now().Format("2006-01-02"),
-		Scale: scaleName,
+		Date:    time.Now().Format("2006-01-02"),
+		Scale:   scaleName,
+		NumCPUs: *cpus,
 	}
 	// timed runs one experiment and captures its host cost: wall clock
 	// plus allocation count/bytes (MemStats deltas, so they include
@@ -187,8 +191,30 @@ func main() {
 			"defended": float64(defended),
 		})
 	}
+	if run("cpu") {
+		counts := make([]int, 0, len(experiments.CPUCounts))
+		for _, n := range experiments.CPUCounts {
+			if n <= *cpus {
+				counts = append(counts, n)
+			}
+		}
+		var pts []experiments.CPUPoint
+		ns, allocs, ab := timed(func() { pts = experiments.CPUScaling(sc, counts) })
+		fmt.Println(experiments.FormatCPUScaling(pts))
+		if *csvDir != "" {
+			export(experiments.ExportCPUScaling(*csvDir, pts))
+		}
+		metrics := make(map[string]float64)
+		for _, p := range pts {
+			metrics[fmt.Sprintf("speedup_%dcpu", p.NumCPUs)] = p.Speedup
+			for c, u := range p.Utilization {
+				metrics[fmt.Sprintf("util_%dcpu_cpu%d", p.NumCPUs, c)] = u
+			}
+		}
+		record("cpu_scaling_ghost_httpd", ns, allocs, ab, metrics)
+	}
 	if *only != "" && !map[string]bool{"t2": true, "t3": true, "t4": true, "t5": true,
-		"f2": true, "f3": true, "f4": true, "sec": true}[*only] {
+		"f2": true, "f3": true, "f4": true, "sec": true, "cpu": true}[*only] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}

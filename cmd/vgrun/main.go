@@ -24,6 +24,7 @@ func main() {
 	modeFlag := flag.String("mode", "vghost", "kernel configuration: native|vghost|shadow")
 	app := flag.String("app", "hello", "workload: hello|keygen|postmark|lmbench")
 	n := flag.Int("n", 2000, "transaction/iteration count")
+	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	flag.Parse()
 
@@ -46,7 +47,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
 		os.Exit(2)
 	}
-	sys, err := repro.NewSystem(mode)
+	cfg := hw.DefaultConfig()
+	cfg.NumCPUs = *cpus
+	sys, err := repro.NewSystemWithOptions(mode, repro.Options{Machine: cfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -95,8 +98,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("mode=%v virtual time=%.3f ms syscalls=%d\n",
-		mode, hw.Seconds(k.M.Clock.Cycles()-start)*1e3, k.Stats().Syscalls)
+	fmt.Printf("mode=%v cpus=%d virtual time=%.3f ms syscalls=%d\n",
+		mode, k.NumCPUs(), hw.Seconds(k.M.Clock.Cycles()-start)*1e3, k.Stats().Syscalls)
+	if k.NumCPUs() > 1 {
+		for i, b := range k.CPUBusy() {
+			fmt.Printf("cpu%d busy=%.3f ms\n", i, hw.Seconds(b)*1e3)
+		}
+	}
 	for _, line := range sys.Console() {
 		fmt.Println("console:", line)
 	}

@@ -131,6 +131,132 @@ func DMAAttack(k *kernel.Kernel, victim *kernel.Proc, ghostVA hw.Virt, secret []
 	return r
 }
 
+// StaleTLBAttack (SMP frame-recycling): the hostile OS primes a remote
+// CPU's TLB with a translation to a frame it owns, unmaps and frees the
+// frame, and steers the free-list so the victim's next ghost allocation
+// recycles exactly that frame. Unless the VM runs the TLB-shootdown
+// protocol before retyping the frame as ghost memory, the remote CPU
+// retains a stale window through which kernel code reads the secret.
+//
+// The priming is staged from a getpid() interposition — like the §7
+// rootkit's read() hook, an innocuous kernel entry the OS controls —
+// so it runs on the victim's own dispatch, immediately before the
+// ghost allocation, with no scheduler activity in between.
+func StaleTLBAttack(k *kernel.Kernel, secret []byte) Result {
+	r := Result{Name: "stale-tlb"}
+	if k.M.NumCPUs() < 2 {
+		r.Detail = "requires a multi-CPU machine (no remote TLB to go stale)"
+		return r
+	}
+	// A kernel-chosen VA outside the ghost partition for the spy alias.
+	const spyVA = hw.Virt(0x00005a1e50000000)
+	var (
+		spyCPU   int
+		primed   bool
+		primeErr error
+		done     bool
+	)
+	prime := func() {
+		// Run on a CPU the victim is not executing on right now; the
+		// current dispatch keeps the victim here until it yields, so the
+		// spy CPU's TLB entry survives unless something flushes it.
+		spyCPU = (k.M.CurCPU() + 1) % k.M.NumCPUs()
+		root, err := k.HAL.NewAddressSpace()
+		if err != nil {
+			primeErr = err
+			return
+		}
+		f, err := k.M.Mem.AllocFrame(hw.FrameUserData)
+		if err != nil {
+			primeErr = err
+			return
+		}
+		if err := k.HAL.MapPage(root, spyVA, f, hw.PTEWrite); err != nil {
+			primeErr = err
+			return
+		}
+		// Touch the mapping from the spy CPU in kernel mode: its TLB now
+		// caches spyVA -> f.
+		spy := k.M.CPUs[spyCPU]
+		spy.MMU.SetRoot(root)
+		spy.Regs.Priv = hw.Supervisor
+		if _, err := spy.LoadVirt(spyVA, 8); err != nil {
+			primeErr = err
+			return
+		}
+		// Unmap (local invlpg only — no shootdown: the OS is hostile)
+		// and free. The LIFO free-list hands f to the very next
+		// allocation: the victim's ghost page.
+		if err := k.HAL.UnmapPage(root, spyVA); err != nil {
+			primeErr = err
+			return
+		}
+		if err := k.M.Mem.FreeFrame(f); err != nil {
+			primeErr = err
+			return
+		}
+	}
+	orig := k.SetSyscallHandler(kernel.SysGetpid, func(k *kernel.Kernel, p *kernel.Proc, ic core.IContext) uint64 {
+		if !primed {
+			primed = true
+			prime()
+		}
+		return uint64(p.PID)
+	})
+	defer k.SetSyscallHandler(kernel.SysGetpid, orig)
+	// The victim: an application that allocates ghost memory for its
+	// secret. Its getpid() hands the hostile OS the kernel entry it
+	// needs; the ghost allocation that follows recycles the primed
+	// frame in the same dispatch.
+	if _, err := k.Spawn("ghost-victim", func(p *kernel.Proc) {
+		p.Syscall(kernel.SysGetpid)
+		va, err := p.AllocGM(1)
+		if err != nil {
+			return
+		}
+		p.Write(uint64(va), secret)
+		done = true
+		// Stay alive holding the ghost page while the OS reads; exit
+		// would scrub the frame.
+		p.Syscall(kernel.SysYield)
+	}); err != nil {
+		r.Detail = fmt.Sprintf("spawn victim: %v", err)
+		return r
+	}
+	if !k.RunUntil(func() bool { return done }) {
+		if primeErr != nil {
+			r.Detail = fmt.Sprintf("priming failed: %v", primeErr)
+			return r
+		}
+		r.Detail = "victim never stored its secret"
+		return r
+	}
+	if primeErr != nil {
+		r.Detail = fmt.Sprintf("priming failed: %v", primeErr)
+		return r
+	}
+	// Read the victim's ghost frame through the (possibly stale) remote
+	// translation.
+	spy := k.M.CPUs[spyCPU]
+	spy.Regs.Priv = hw.Supervisor
+	got := make([]byte, len(secret))
+	for i := range got {
+		v, err := spy.LoadVirt(spyVA+hw.Virt(i), 1)
+		if err != nil {
+			r.Detail = fmt.Sprintf("stale read blocked: %v", err)
+			return r
+		}
+		got[i] = byte(v)
+	}
+	if bytes.Equal(got, secret) {
+		r.Succeeded = true
+		r.Detail = fmt.Sprintf("cpu%d read the secret through a stale TLB entry", spyCPU)
+	} else {
+		r.Detail = "stale translation readable but frame was scrubbed"
+	}
+	return r
+}
+
 // ICTamperAttack (paper §2.2.4): from a read() interposition, grab the
 // saved interrupt context and redirect the victim's program counter to
 // planted exploit code.

@@ -60,7 +60,10 @@ type halCommon struct {
 	frames  FrameSource
 	xlator  *compiler.Translator
 	threads map[ThreadID]*threadState
-	current ThreadID
+	// cur is the scheduled thread per CPU: the HAL state that is
+	// per-processor on a real SMP machine (the prototype keeps it in
+	// per-CPU SVA internal memory). Indexed by Machine.CurCPU().
+	cur []ThreadID
 }
 
 func newHALCommon(m *hw.Machine, opts compiler.Options) halCommon {
@@ -72,6 +75,7 @@ func newHALCommon(m *hw.Machine, opts compiler.Options) halCommon {
 		m:       m,
 		xlator:  xlator,
 		threads: make(map[ThreadID]*threadState),
+		cur:     make([]ThreadID, m.NumCPUs()),
 	}
 }
 
@@ -87,11 +91,14 @@ func (h *halCommon) RegisterFrameSource(src FrameSource) { h.frames = src }
 // CodeSpace exposes the machine's kernel code space.
 func (h *halCommon) CodeSpace() *compiler.CodeSpace { return h.xlator.Space }
 
-// SetCurrentThread records the scheduled thread.
-func (h *halCommon) SetCurrentThread(t ThreadID) { h.current = t }
+// SetCurrentThread records the scheduled thread on the current CPU.
+func (h *halCommon) SetCurrentThread(t ThreadID) { h.cur[h.m.CurCPU()] = t }
 
-// CurrentThread returns the scheduled thread.
-func (h *halCommon) CurrentThread() ThreadID { return h.current }
+// CurrentThread returns the thread scheduled on the current CPU.
+func (h *halCommon) CurrentThread() ThreadID { return h.cur[h.m.CurCPU()] }
+
+// currentTID is the internal shorthand for the current CPU's thread.
+func (h *halCommon) currentTID() ThreadID { return h.cur[h.m.CurCPU()] }
 
 // thread returns (creating if needed) the state for t.
 func (h *halCommon) thread(t ThreadID) *threadState {
@@ -185,7 +192,7 @@ func (h *halCommon) rawMap(root hw.Frame, va hw.Virt, f hw.Frame, flags uint64,
 		return err
 	}
 	h.m.Mem.AddRef(f)
-	h.m.MMU.InvalidatePage(va)
+	h.m.CurMMU().InvalidatePage(va)
 	h.m.MMU.InvalidatePageIn(root, va)
 	return nil
 }
@@ -210,7 +217,10 @@ func (h *halCommon) rawUnmap(root hw.Frame, va hw.Virt) error {
 		return err
 	}
 	h.m.Mem.DropRef(old.Frame())
-	h.m.MMU.InvalidatePage(va)
+	// invlpg is local to the CPU performing the unmap; flushing other
+	// CPUs' TLBs takes the shootdown protocol, which the Virtual Ghost
+	// VM runs before a ghost or page-table frame changes owners.
+	h.m.CurMMU().InvalidatePage(va)
 	h.m.MMU.InvalidatePageIn(root, va)
 	return nil
 }
@@ -219,7 +229,7 @@ func (h *halCommon) rawUnmap(root hw.Frame, va hw.Virt) error {
 // register file, take the trap (the HAL-specific trap handler runs the
 // kernel), and read back the return value.
 func (h *halCommon) doSyscall(num uint64, args [6]uint64) uint64 {
-	cpu := h.m.CPU
+	cpu := h.m.Cur()
 	cpu.Regs.GPR[hw.RAX] = num
 	cpu.Regs.GPR[hw.RDI] = args[0]
 	cpu.Regs.GPR[hw.RSI] = args[1]

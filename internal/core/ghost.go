@@ -55,6 +55,12 @@ func (vm *VM) AllocGhost(t ThreadID, root hw.Frame, va hw.Virt, npages int) erro
 			return fmt.Errorf("%w: OS-provided frame %d is %v",
 				ErrGhostMapping, f, vm.m.Mem.TypeOf(f))
 		}
+		// The OS unmapped the frame, but on an SMP machine another
+		// CPU's TLB may still translate to it from the frame's previous
+		// life. Run the shootdown protocol before retyping: a stale
+		// remote translation into a ghost frame would hand the OS the
+		// application's secrets (the stale-remote-TLB attack).
+		vm.m.ShootdownFrame(f)
 		if err := vm.m.Mem.SetType(f, hw.FrameGhost); err != nil {
 			return err
 		}
@@ -107,6 +113,10 @@ func (vm *VM) releaseGhostPage(ts *threadState, root hw.Frame, pva hw.Virt, f hw
 		// Another thread of the application still maps the frame.
 		return nil
 	}
+	// Last mapping gone: flush every remote TLB before the frame is
+	// scrubbed and returned to the OS, so no CPU retains a stale
+	// window onto memory about to change owners.
+	vm.m.ShootdownFrame(f)
 	if err := vm.m.Mem.ZeroFrame(f); err != nil {
 		return err
 	}

@@ -29,8 +29,10 @@ func NewNativeHAL(m *hw.Machine) (*NativeHAL, error) {
 		halCommon: newHALCommon(m, compiler.NativeOptions()),
 		appKeys:   make(map[ThreadID][]byte),
 	}
-	m.CPU.ISTTarget = 0 // trap state stays on the kernel stack
-	m.CPU.SetTrapHandler(h.onTrap)
+	for _, c := range m.CPUs {
+		c.ISTTarget = 0 // trap state stays on the kernel stack
+		c.SetTrapHandler(h.onTrap)
+	}
 	return h, nil
 }
 
@@ -41,13 +43,14 @@ func (h *NativeHAL) Mode() Mode { return ModeNative }
 // Context copy, no register zeroing. A rootkit holding the kernel's
 // trap path can read and rewrite everything.
 func (h *NativeHAL) onTrap(tf *hw.TrapFrame) {
-	ts := h.thread(h.current)
+	tid := h.currentTID()
+	ts := h.thread(tid)
 	ts.ic = tf
 	if h.handler == nil {
 		panic("core: trap with no kernel handler registered")
 	}
-	h.handler(&nativeIC{baseIC{tf: tf, tid: h.current}}, tf.Kind, tf.Info)
-	h.m.CPU.ReturnFromTrap(tf)
+	h.handler(&nativeIC{baseIC{tf: tf, tid: tid}}, tf.Kind, tf.Info)
+	h.m.Cur().ReturnFromTrap(tf)
 }
 
 // Syscall enters the kernel.
@@ -57,7 +60,7 @@ func (h *NativeHAL) Syscall(num uint64, args [6]uint64) uint64 {
 
 // Trap raises a non-syscall trap.
 func (h *NativeHAL) Trap(kind hw.TrapKind, info uint64) {
-	h.m.CPU.Trap(kind, info)
+	h.m.Cur().Trap(kind, info)
 }
 
 // TranslateModule compiles without instrumentation and accepts inline
@@ -102,8 +105,8 @@ func (h *NativeHAL) UnmapPage(root hw.Frame, va hw.Virt) error {
 
 // LoadAddressSpace loads CR3.
 func (h *NativeHAL) LoadAddressSpace(root hw.Frame) error {
-	h.m.MMU.SetRoot(root)
-	if ts, ok := h.threads[h.current]; ok {
+	h.m.CurMMU().SetRoot(root)
+	if ts, ok := h.threads[h.currentTID()]; ok {
 		ts.root = root
 	}
 	return nil

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// newSMPVM boots a VirtualGhost VM on an n-CPU machine.
+func newSMPVM(t *testing.T, n int) (*VM, *hw.Machine) {
+	t.Helper()
+	m := hw.NewMachine(hw.MachineConfig{MemFrames: 2048, DiskBlocks: 64, Seed: 1, NumCPUs: n})
+	vm, err := NewVM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.RegisterFrameSource(testFrames{m: m.Mem})
+	vm.RegisterTrapHandler(func(ic IContext, kind hw.TrapKind, info uint64) {})
+	return vm, m
+}
+
+// TestGhostFrameFreeBlockedByRemoteTLB: after a remote CPU caches a
+// translation to a ghost frame, freeing or retyping the frame must be
+// refused until a shootdown flushes the stale entry.
+func TestGhostFrameFreeBlockedByRemoteTLB(t *testing.T) {
+	vm, m := newSMPVM(t, 2)
+	root, _ := vm.NewAddressSpace()
+	va := hw.GhostBase + 0x3000
+	if err := vm.AllocGhost(1, root, va, 1); err != nil {
+		t.Fatalf("AllocGhost: %v", err)
+	}
+	f := vm.threads[1].ghost[va]
+
+	// CPU 1 touches the ghost page: its TLB caches va -> f. (The ghost
+	// PTE carries PTEUser, so a user-mode access on the remote CPU
+	// works — this is the victim's own thread running there.)
+	remote := m.CPUs[1].MMU
+	remote.SetRoot(root)
+	if _, err := remote.Translate(va, hw.AccRead, true); err != nil {
+		t.Fatalf("remote translate: %v", err)
+	}
+	if !remote.HoldsFrame(f) {
+		t.Fatalf("remote TLB did not cache frame %d", f)
+	}
+
+	// The mapping is torn down with only a local invlpg — the stale
+	// remote entry survives, and the hardware-level guard must refuse
+	// to let the frame change hands.
+	if err := vm.rawUnmap(root, va); err != nil {
+		t.Fatalf("rawUnmap: %v", err)
+	}
+	if err := m.Mem.FreeFrame(f); err == nil {
+		t.Fatalf("FreeFrame of ghost frame succeeded with a stale remote translation")
+	} else if !strings.Contains(err.Error(), "cpu1") {
+		t.Errorf("FreeFrame error should name the stale CPU: %v", err)
+	}
+	if err := m.Mem.SetType(f, hw.FrameUserData); err == nil {
+		t.Fatalf("retype of ghost frame succeeded with a stale remote translation")
+	}
+
+	// After the shootdown protocol runs, release proceeds.
+	if acks := m.ShootdownFrame(f); acks != 1 {
+		t.Fatalf("ShootdownFrame acks = %d, want 1", acks)
+	}
+	if remote.HoldsFrame(f) {
+		t.Errorf("shootdown left the stale entry in place")
+	}
+	if err := m.Mem.SetType(f, hw.FrameUserData); err != nil {
+		t.Fatalf("retype after shootdown: %v", err)
+	}
+	if err := m.Mem.FreeFrame(f); err != nil {
+		t.Fatalf("free after shootdown: %v", err)
+	}
+}
+
+// TestFreeGhostRunsShootdown: the ordinary freegm path must leave no
+// remote CPU holding a translation to the released frame.
+func TestFreeGhostRunsShootdown(t *testing.T) {
+	vm, m := newSMPVM(t, 4)
+	root, _ := vm.NewAddressSpace()
+	va := hw.GhostBase + 0x5000
+	if err := vm.AllocGhost(1, root, va, 1); err != nil {
+		t.Fatalf("AllocGhost: %v", err)
+	}
+	f := vm.threads[1].ghost[va]
+	for _, c := range m.CPUs[1:] {
+		c.MMU.SetRoot(root)
+		if _, err := c.MMU.Translate(va, hw.AccRead, true); err != nil {
+			t.Fatalf("cpu%d translate: %v", c.ID, err)
+		}
+	}
+	_, _, before := m.IPICounts()
+	if err := vm.FreeGhost(1, root, va, 1); err != nil {
+		t.Fatalf("FreeGhost: %v", err)
+	}
+	for _, c := range m.CPUs {
+		if c.MMU.HoldsFrame(f) {
+			t.Errorf("cpu%d still translates to released ghost frame %d", c.ID, f)
+		}
+	}
+	if _, _, after := m.IPICounts(); after == before {
+		t.Errorf("FreeGhost released a remotely-cached ghost frame without a shootdown")
+	}
+}

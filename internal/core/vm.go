@@ -114,9 +114,13 @@ func NewVMWithOptions(m *hw.Machine, opts VMOptions) (*VM, error) {
 		_ = f
 	}
 	// The Interrupt Stack Table forces trap state onto a VM-internal
-	// stack regardless of privilege change (paper §5).
-	m.CPU.ISTTarget = uint64(vir.SVAInternalBase) + 0x8000
-	m.CPU.SetTrapHandler(vm.onTrap)
+	// stack regardless of privilege change (paper §5). Each CPU gets
+	// its own interrupt-context stack inside SVA memory so concurrent
+	// traps on different processors never share a save area.
+	for i, c := range m.CPUs {
+		c.ISTTarget = uint64(vir.SVAInternalBase) + 0x8000 + uint64(i)*0x2000
+		c.SetTrapHandler(vm.onTrap)
+	}
 	return vm, nil
 }
 
@@ -131,18 +135,19 @@ func (vm *VM) Mode() Mode { return ModeVirtualGhost }
 func (vm *VM) onTrap(tf *hw.TrapFrame) {
 	clk := vm.m.Clock
 	clk.Advance(hw.CostICSave)
-	ts := vm.thread(vm.current)
+	tid := vm.currentTID()
+	ts := vm.thread(tid)
 	saved := cloneFrame(tf) // the copy in VM internal memory
 	ts.ic = saved
 	clk.Advance(hw.CostICZero)
-	vm.m.CPU.Regs.Zero(tf.Kind == hw.TrapSyscall)
+	vm.m.Cur().Regs.Zero(tf.Kind == hw.TrapSyscall)
 	if vm.handler == nil {
 		panic("core: trap with no kernel handler registered")
 	}
-	ic := &vgIC{baseIC{tf: saved, tid: vm.current}}
+	ic := &vgIC{baseIC{tf: saved, tid: tid}}
 	vm.handler(ic, tf.Kind, tf.Info)
 	// Return to the interrupted program from the protected copy.
-	vm.m.CPU.ReturnFromTrap(saved)
+	vm.m.Cur().ReturnFromTrap(saved)
 }
 
 // Syscall enters the kernel from user mode.
@@ -153,7 +158,7 @@ func (vm *VM) Syscall(num uint64, args [6]uint64) uint64 {
 // Trap raises a non-syscall trap (page fault, timer) for the current
 // thread.
 func (vm *VM) Trap(kind hw.TrapKind, info uint64) {
-	vm.m.CPU.Trap(kind, info)
+	vm.m.Cur().Trap(kind, info)
 }
 
 // TranslateModule compiles OS code through the full Virtual Ghost
@@ -185,6 +190,10 @@ func (vm *VM) DeclarePTP(f hw.Frame) error {
 	if err := vm.m.Mem.ZeroFrame(f); err != nil {
 		return err
 	}
+	// Before the frame becomes a page-table page, flush any stale
+	// translation to it from every remote TLB (SVA-OS shootdown
+	// protocol); the Memory layer refuses the retype otherwise.
+	vm.m.ShootdownFrame(f)
 	return vm.m.Mem.SetType(f, hw.FramePageTable)
 }
 
@@ -258,8 +267,8 @@ func (vm *VM) LoadAddressSpace(root hw.Frame) error {
 	if vm.m.Mem.TypeOf(root) != hw.FramePageTable {
 		return fmt.Errorf("%w: CR3 load of non-page-table frame %d", ErrBadFrameForPTP, root)
 	}
-	vm.m.MMU.SetRoot(root)
-	if ts, ok := vm.threads[vm.current]; ok {
+	vm.m.CurMMU().SetRoot(root)
+	if ts, ok := vm.threads[vm.currentTID()]; ok {
 		ts.root = root
 	}
 	return nil

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/libc"
+)
+
+// This file is the SMP scaling experiment: the ghost-webserver workload
+// (request loop reading file data into ghost memory) run on machines
+// with growing CPU counts. Virtual parallelism is modeled by per-CPU
+// busy-cycle attribution (see internal/kernel/sched.go): the makespan
+// is the busiest CPU's virtual time, so spreading the same work over
+// more CPUs raises throughput.
+
+// CPUCounts is the machine-size sweep.
+var CPUCounts = []int{1, 2, 4, 8}
+
+// scalingWorkers is the number of server worker processes; at the top
+// of the sweep each CPU runs exactly one worker.
+const scalingWorkers = 8
+
+// CPUPoint is one machine size's result.
+type CPUPoint struct {
+	NumCPUs     int
+	Requests    int       // total requests served
+	MakespanSec float64   // busiest CPU's virtual seconds
+	ReqPerSec   float64   // Requests / MakespanSec
+	Speedup     float64   // vs the 1-CPU point
+	Utilization []float64 // per-CPU busy / makespan
+}
+
+// CPUScaling measures ghost-webserver throughput on Virtual Ghost at
+// each CPU count in counts (nil = CPUCounts).
+func CPUScaling(sc Scale, counts []int) []CPUPoint {
+	if counts == nil {
+		counts = CPUCounts
+	}
+	pts := make([]CPUPoint, 0, len(counts))
+	for _, n := range counts {
+		pts = append(pts, ghostServerThroughput(n, sc.HTTPRequests))
+	}
+	for i := range pts {
+		if pts[0].ReqPerSec > 0 {
+			pts[i].Speedup = pts[i].ReqPerSec / pts[0].ReqPerSec
+		}
+	}
+	return pts
+}
+
+// ghostServerThroughput boots an n-CPU Virtual Ghost system, runs
+// scalingWorkers request-serving processes, and derives throughput from
+// the makespan.
+func ghostServerThroughput(ncpus, reqsPerWorker int) CPUPoint {
+	cfg := hw.DefaultConfig()
+	cfg.NumCPUs = ncpus
+	sys, err := repro.NewSystemWithOptions(repro.VirtualGhost, repro.Options{Machine: cfg})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: boot %d-cpu system: %v", ncpus, err))
+	}
+	k := sys.Kernel
+	const pageSz = 4096
+	seedFile(k, "/site.bin", pageSz)
+	for w := 0; w < scalingWorkers; w++ {
+		if _, err := k.Spawn("ghost-httpd", func(p *kernel.Proc) {
+			l, err := libc.NewGhosting(p)
+			if err != nil {
+				panic(err)
+			}
+			buf, err := l.Malloc(pageSz)
+			if err != nil {
+				panic(err)
+			}
+			fd, err := l.Open("/site.bin", kernel.ORdOnly)
+			if err != nil {
+				panic(err)
+			}
+			for r := 0; r < reqsPerWorker; r++ {
+				// One "request": rewind, read the response body into
+				// the ghost buffer, yield at the request boundary.
+				p.Syscall(kernel.SysLseek, uint64(fd), 0, 0)
+				if _, err := l.Read(fd, buf, pageSz); err != nil {
+					panic(err)
+				}
+				p.Syscall(kernel.SysYield)
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+	k.RunUntilIdle()
+	busy := k.CPUBusy()
+	var makespan uint64
+	for _, b := range busy {
+		if b > makespan {
+			makespan = b
+		}
+	}
+	pt := CPUPoint{
+		NumCPUs:     ncpus,
+		Requests:    scalingWorkers * reqsPerWorker,
+		MakespanSec: hw.Seconds(makespan),
+	}
+	if pt.MakespanSec > 0 {
+		pt.ReqPerSec = float64(pt.Requests) / pt.MakespanSec
+	}
+	for _, b := range busy {
+		pt.Utilization = append(pt.Utilization, float64(b)/float64(makespan))
+	}
+	return pt
+}
+
+// FormatCPUScaling renders the sweep.
+func FormatCPUScaling(pts []CPUPoint) string {
+	var sb strings.Builder
+	sb.WriteString("CPU scaling: ghost webserver on Virtual Ghost (virtual SMP)\n")
+	fmt.Fprintf(&sb, "%-6s %9s %12s %12s %9s %s\n",
+		"CPUs", "Requests", "Makespan s", "Req/s", "Speedup", "Per-CPU utilization")
+	for _, p := range pts {
+		utils := make([]string, len(p.Utilization))
+		for i, u := range p.Utilization {
+			utils[i] = fmt.Sprintf("%.2f", u)
+		}
+		fmt.Fprintf(&sb, "%-6d %9d %12.6f %12.0f %8.2fx %s\n",
+			p.NumCPUs, p.Requests, p.MakespanSec, p.ReqPerSec, p.Speedup,
+			strings.Join(utils, " "))
+	}
+	return sb.String()
+}
+
+// ExportCPUScaling writes cpu_scaling.csv.
+func ExportCPUScaling(dir string, pts []CPUPoint) error {
+	out := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		minU, maxU := 1.0, 0.0
+		for _, u := range p.Utilization {
+			if u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+		out = append(out, []string{
+			fmt.Sprint(p.NumCPUs), fmt.Sprint(p.Requests),
+			f3(p.MakespanSec), f3(p.ReqPerSec), f3(p.Speedup),
+			f3(minU), f3(maxU),
+		})
+	}
+	return WriteCSV(dir, "cpu_scaling",
+		[]string{"num_cpus", "requests", "makespan_s", "req_per_s", "speedup",
+			"min_util", "max_util"},
+		out)
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro"
 	"repro/internal/apps/lmbench"
@@ -23,6 +24,11 @@ type Scale struct {
 	HTTPRequests int // paper: 10000 per size
 	SSHRuns      int // paper: 20 per size
 	PostmarkTxns int // paper: 500000
+	// Parallel fans independent measurements (Table 2 rows, Table 3/4
+	// sizes) out over host goroutines. Each measurement boots its own
+	// systems on its own virtual clock, so results are bit-identical to
+	// the sequential run — only host wall-clock changes.
+	Parallel bool
 }
 
 // QuickScale is small enough for unit tests.
@@ -94,8 +100,9 @@ func Table2(sc Scale) []T2Row {
 		{"fork + exec", func(k *kernel.Kernel) float64 { return lmbench.ForkExec(k, max(iters/10, 4)) }},
 		{"select", func(k *kernel.Kernel) float64 { return lmbench.Select(k, 64, iters) }},
 	}
-	rows := make([]T2Row, 0, len(benches))
-	for _, b := range benches {
+	rows := make([]T2Row, len(benches))
+	forEach(sc.Parallel, len(benches), func(i int) {
+		b := benches[i]
 		row := T2Row{Test: b.name, Paper: paperTable2[b.name]}
 		row.Native = b.run(newSystem(repro.Native).Kernel)
 		row.VG = b.run(newSystem(repro.VirtualGhost).Kernel)
@@ -104,9 +111,31 @@ func Table2(sc Scale) []T2Row {
 			row.Overhead = row.VG / row.Native
 			row.ShadowX = row.Shadow / row.Native
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
+}
+
+// forEach runs body(0..n-1), on host goroutines when parallel is set.
+// Each body call must be self-contained (its own systems and clock);
+// the results land in pre-sized slices, so ordering is preserved and
+// output is identical either way.
+func forEach(parallel bool, n int, body func(i int)) {
+	if !parallel {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			body(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // FormatTable2 renders the Table 2 comparison.
@@ -168,8 +197,9 @@ func Table4(sc Scale) []FileRateRow {
 }
 
 func fileRates(sc Scale, f func(*kernel.Kernel, int, int) float64, paper map[int][3]float64) []FileRateRow {
-	var rows []FileRateRow
-	for _, size := range FileSizes {
+	rows := make([]FileRateRow, len(FileSizes))
+	forEach(sc.Parallel, len(FileSizes), func(i int) {
+		size := FileSizes[i]
 		r := FileRateRow{SizeBytes: size}
 		r.Native = f(newSystem(repro.Native).Kernel, size, sc.FileCount)
 		r.VG = f(newSystem(repro.VirtualGhost).Kernel, size, sc.FileCount)
@@ -178,8 +208,8 @@ func fileRates(sc Scale, f func(*kernel.Kernel, int, int) float64, paper map[int
 		}
 		p := paper[size]
 		r.PaperNat, r.PaperVG, r.PaperRatio = p[0], p[1], p[2]
-		rows = append(rows, r)
-	}
+		rows[i] = r
+	})
 	return rows
 }
 

@@ -111,8 +111,10 @@ type BenchEntry struct {
 // BenchReport is the cross-PR perf trajectory record written by
 // `vgbench -json` as BENCH_<date>.json.
 type BenchReport struct {
-	Date    string       `json:"date"`
-	Scale   string       `json:"scale"`
+	Date  string `json:"date"`
+	Scale string `json:"scale"`
+	// NumCPUs is the top of the SMP sweep (-cpus); 1 = single-CPU run.
+	NumCPUs int          `json:"num_cpus"`
 	Entries []BenchEntry `json:"experiments"`
 }
 

@@ -17,8 +17,13 @@ const AgentPort = 2222
 
 // SecurityMatrix runs the §7 rootkit attacks (and the wider vector
 // suite) against a live ssh-agent on both configurations and reports
-// the outcomes.
-func SecurityMatrix() []SecurityRow {
+// the outcomes. The SMP stale-TLB vector runs on a 2-CPU machine; use
+// SecurityMatrixWithCPUs for larger machines.
+func SecurityMatrix() []SecurityRow { return SecurityMatrixWithCPUs(2) }
+
+// SecurityMatrixWithCPUs is SecurityMatrix with the SMP vectors run on
+// an ncpus-CPU machine.
+func SecurityMatrixWithCPUs(ncpus int) []SecurityRow {
 	rows := []SecurityRow{
 		rootkitRow("rootkit: direct read", attack.DirectRead),
 		rootkitRow("rootkit: signal inject", attack.SigInject),
@@ -37,8 +42,31 @@ func SecurityMatrix() []SecurityRow {
 			r := attack.ROPAttack(s.Kernel, true)
 			return r.Succeeded, r.Detail
 		}),
+		staleTLBRow(ncpus),
 	}
 	return rows
+}
+
+// staleTLBRow runs the SMP stale-TLB attack; unlike the other vectors
+// it needs a multi-CPU machine (a remote TLB to go stale).
+func staleTLBRow(ncpus int) SecurityRow {
+	run := func(mode repro.Mode) (bool, string) {
+		cfg := hw.DefaultConfig()
+		cfg.NumCPUs = ncpus
+		sys, err := repro.NewSystemWithOptions(mode, repro.Options{Machine: cfg})
+		if err != nil {
+			panic(err)
+		}
+		r := attack.StaleTLBAttack(sys.Kernel, []byte("STALE-TLB-SECRET-0xFEED"))
+		return r.Succeeded, r.Detail
+	}
+	row := SecurityRow{Attack: "stale tlb (smp)"}
+	natOK, natDetail := run(repro.Native)
+	vgOK, vgDetail := run(repro.VirtualGhost)
+	row.NativeResult = verdict(natOK, natDetail)
+	row.VGResult = verdict(vgOK, vgDetail)
+	row.Defended = natOK && !vgOK
+	return row
 }
 
 // agentVictim boots a system with a running ssh-agent and returns its

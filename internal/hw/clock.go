@@ -86,6 +86,14 @@ const (
 	// CostContextSwitch is charged for a kernel context switch
 	// (register save/restore, runqueue work), excluding TLB effects.
 	CostContextSwitch = 700
+	// CostIPISend is charged on the sending CPU for one inter-processor
+	// interrupt: APIC programming plus the wait for the remote
+	// acknowledgement (TLB shootdowns are synchronous).
+	CostIPISend = 700
+	// CostIPIDeliver is charged for the remote side of an IPI: the
+	// interrupt entry, the handler (e.g. the invlpg loop of a TLB
+	// shootdown), and the acknowledgement store.
+	CostIPIDeliver = 500
 	// CostBcopyPerByte is charged per byte for block copies
 	// (copyin/copyout, memcpy) in addition to the per-call access
 	// charge. Block copies charge one mask check per call, not per

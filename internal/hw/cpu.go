@@ -120,9 +120,13 @@ type TrapFrame struct {
 	Info uint64
 }
 
-// CPU is one simulated hardware thread. It owns a register file, the
-// MMU (per-CPU in this single-socket model), and the IST configuration.
+// CPU is one simulated hardware thread. It owns a register file, its
+// own MMU (each CPU has a private TLB over the shared physical
+// memory), and the IST configuration.
 type CPU struct {
+	// ID is the CPU's index in its machine's CPUs slice (0 for the
+	// boot CPU and for single-CPU machines).
+	ID    int
 	Regs  RegFile
 	MMU   *MMU
 	Clock *Clock
@@ -135,6 +139,11 @@ type CPU struct {
 	// trapHandler receives traps; installed by whoever owns the boot
 	// path (the SVA VM under Virtual Ghost, the kernel natively).
 	trapHandler func(*TrapFrame)
+
+	// ipi is the CPU's interrupt line: pending inter-processor
+	// interrupts queued by Machine.SendIPI, drained (and charged) by
+	// Machine.DrainIPIs when the scheduler next steps this CPU.
+	ipi []IPI
 }
 
 // NewCPU builds a CPU over the memory/MMU.

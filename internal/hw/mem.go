@@ -109,6 +109,12 @@ type Memory struct {
 	// invalidator here so no software-cached translation can outlive a
 	// page-table mutation, however the mutation was performed.
 	ptWatch func(Frame)
+	// staleCheck, when set, guards FreeFrame and SetType of frames
+	// whose old or new type is security-critical (ghost or page-table):
+	// the machine refuses the operation while a remote CPU's TLB could
+	// still translate to the frame, i.e. the TLB-shootdown protocol was
+	// skipped. Registered by Machine on multi-CPU configurations.
+	staleCheck func(Frame) error
 }
 
 // MMIOHandler receives loads and stores to a memory-mapped I/O frame.
@@ -136,8 +142,29 @@ func NewMemory(nframes int, clock *Clock) *Memory {
 }
 
 // SetPTWatch registers the observer for physical mutations of declared
-// page-table frames. Only one observer is supported (the machine's MMU).
+// page-table frames. Only one observer is supported (the machine's
+// primary MMU — secondary CPUs' MMUs share its walk cache, so one
+// invalidation reaches them all).
 func (m *Memory) SetPTWatch(fn func(Frame)) { m.ptWatch = fn }
+
+// SetStaleCheck registers the stale-translation guard consulted before
+// ghost/page-table frames are freed or retyped (the machine's TLB
+// coherence check).
+func (m *Memory) SetStaleCheck(fn func(Frame) error) { m.staleCheck = fn }
+
+// checkStale applies the stale-translation guard when a frame
+// transitions into or out of a security-critical type.
+func (m *Memory) checkStale(f Frame, types ...FrameType) error {
+	if m.staleCheck == nil {
+		return nil
+	}
+	for _, t := range types {
+		if t == FrameGhost || t == FramePageTable {
+			return m.staleCheck(f)
+		}
+	}
+	return nil
+}
 
 // notifyPT reports a possible content or role change of a page-table
 // frame to the registered observer.
@@ -192,6 +219,9 @@ func (m *Memory) FreeFrame(f Frame) error {
 	if m.refs[f] != 0 {
 		return fmt.Errorf("hw: freeing frame %d with %d live mappings", f, m.refs[f])
 	}
+	if err := m.checkStale(f, m.ftype[f]); err != nil {
+		return fmt.Errorf("hw: freeing frame %d: %w", f, err)
+	}
 	if m.ftype[f] == FramePageTable {
 		m.notifyPT(f)
 	}
@@ -213,6 +243,9 @@ func (m *Memory) TypeOf(f Frame) FrameType {
 func (m *Memory) SetType(f Frame, t FrameType) error {
 	if err := m.checkFrame(f); err != nil {
 		return err
+	}
+	if err := m.checkStale(f, m.ftype[f], t); err != nil {
+		return fmt.Errorf("hw: retyping frame %d to %s: %w", f, t, err)
 	}
 	if m.ftype[f] == FramePageTable || t == FramePageTable {
 		m.notifyPT(f)

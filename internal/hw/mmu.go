@@ -136,8 +136,27 @@ type MMU struct {
 	root  Frame // current CR3 (root page-table frame); 0 = none
 	tlb   map[Virt]tlbEntry
 
+	// cache is the host-side walk cache. It caches completed software
+	// walks of *physical memory*, which all CPUs share, so on a
+	// multi-CPU machine every MMU points at one cache (per-CPU state is
+	// the modeled TLB above, never the walk cache — a stale shared
+	// entry would be a simulator bug, while a stale TLB entry is a
+	// modeled hardware hazard).
+	cache *walkCache
+}
+
+// walkCache is the shared host-side cache of completed software walks;
+// see the MMU comment above for its strict-invalidation contract.
+type walkCache struct {
 	walk     map[walkKey]walkEntry
 	walkDeps map[Frame]map[walkKey]struct{} // table frame -> entries whose walk traversed it
+}
+
+func newWalkCache() *walkCache {
+	return &walkCache{
+		walk:     make(map[walkKey]walkEntry),
+		walkDeps: make(map[Frame]map[walkKey]struct{}),
+	}
 }
 
 type tlbEntry struct {
@@ -163,14 +182,28 @@ type walkEntry struct {
 // NewMMU creates an MMU over the given memory.
 func NewMMU(mem *Memory, clock *Clock) *MMU {
 	u := &MMU{
-		mem:      mem,
-		clock:    clock,
-		tlb:      make(map[Virt]tlbEntry),
-		walk:     make(map[walkKey]walkEntry),
-		walkDeps: make(map[Frame]map[walkKey]struct{}),
+		mem:   mem,
+		clock: clock,
+		tlb:   make(map[Virt]tlbEntry),
+		cache: newWalkCache(),
 	}
 	mem.SetPTWatch(u.invalidateTableFrame)
 	return u
+}
+
+// NewMMUSharing creates an MMU for an additional CPU of the same
+// machine. It has its own TLB (the per-CPU hazard the shootdown
+// protocol exists for) but shares the primary MMU's walk cache, since
+// that cache describes the shared physical page tables. The primary's
+// page-table watch already invalidates the shared cache, so no second
+// watch is registered.
+func NewMMUSharing(mem *Memory, clock *Clock, primary *MMU) *MMU {
+	return &MMU{
+		mem:   mem,
+		clock: clock,
+		tlb:   make(map[Virt]tlbEntry),
+		cache: primary.cache,
+	}
 }
 
 // Root returns the current root page-table frame (CR3).
@@ -192,8 +225,32 @@ func (u *MMU) FlushTLB() {
 	}
 }
 
-// InvalidatePage drops one page's cached translation (invlpg).
+// InvalidatePage drops one page's cached translation (invlpg). Like
+// the real instruction it is strictly local to this CPU's TLB; remote
+// TLBs require the shootdown protocol (Machine.ShootdownFrame).
 func (u *MMU) InvalidatePage(v Virt) { delete(u.tlb, PageOf(v)) }
+
+// HoldsFrame reports whether this TLB caches any translation that
+// resolves to frame f. Machine.staleTranslationCheck uses it to refuse
+// freeing or retyping a frame a remote CPU could still reach.
+func (u *MMU) HoldsFrame(f Frame) bool {
+	for _, te := range u.tlb {
+		if te.frame == f {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushFrame drops every TLB entry that maps frame f — the remote half
+// of a TLB shootdown (the invlpg loop run in the IPI handler).
+func (u *MMU) FlushFrame(f Frame) {
+	for v, te := range u.tlb {
+		if te.frame == f {
+			delete(u.tlb, v)
+		}
+	}
+}
 
 // Translate walks the page tables for v in the current address space and
 // checks permissions for the given access at the given privilege.
@@ -360,7 +417,7 @@ func (u *MMU) EnsureTables(root Frame, v Virt,
 // exists only to spare the *host* the O(levels) physical reads.
 func (u *MMU) CachedLeaf(root Frame, v Virt) (PTE, bool, error) {
 	key := walkKey{root: root, page: PageOf(v)}
-	if we, ok := u.walk[key]; ok {
+	if we, ok := u.cache.walk[key]; ok {
 		return we.pte, true, nil
 	}
 	var tables [ptLevels]Frame
@@ -384,12 +441,12 @@ func (u *MMU) CachedLeaf(root Frame, v Virt) (PTE, bool, error) {
 	if !leaf.Present() {
 		return 0, false, nil
 	}
-	u.walk[key] = walkEntry{pte: leaf, tables: tables}
+	u.cache.walk[key] = walkEntry{pte: leaf, tables: tables}
 	for _, f := range tables {
-		deps := u.walkDeps[f]
+		deps := u.cache.walkDeps[f]
 		if deps == nil {
 			deps = make(map[walkKey]struct{})
-			u.walkDeps[f] = deps
+			u.cache.walkDeps[f] = deps
 		}
 		deps[key] = struct{}{}
 	}
@@ -410,7 +467,7 @@ func (u *MMU) InvalidatePageIn(root Frame, v Virt) {
 // watch, so raw physical stores, ZeroFrame, FrameBytes hand-outs,
 // SetType and FreeFrame on declared table frames all funnel here.
 func (u *MMU) invalidateTableFrame(f Frame) {
-	deps := u.walkDeps[f]
+	deps := u.cache.walkDeps[f]
 	if len(deps) == 0 {
 		return
 	}
@@ -424,16 +481,16 @@ func (u *MMU) invalidateTableFrame(f Frame) {
 }
 
 func (u *MMU) dropWalk(key walkKey) {
-	we, ok := u.walk[key]
+	we, ok := u.cache.walk[key]
 	if !ok {
 		return
 	}
-	delete(u.walk, key)
+	delete(u.cache.walk, key)
 	for _, f := range we.tables {
-		if deps := u.walkDeps[f]; deps != nil {
+		if deps := u.cache.walkDeps[f]; deps != nil {
 			delete(deps, key)
 			if len(deps) == 0 {
-				delete(u.walkDeps, f)
+				delete(u.cache.walkDeps, f)
 			}
 		}
 	}

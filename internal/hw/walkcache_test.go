@@ -25,8 +25,8 @@ func TestWalkCacheHitReturnsSameLeaf(t *testing.T) {
 	if !ok || got != f {
 		t.Fatalf("first lookup: got (%d,%v), want (%d,true)", got, ok, f)
 	}
-	if len(u.walk) != 1 {
-		t.Fatalf("walk cache has %d entries, want 1", len(u.walk))
+	if len(u.cache.walk) != 1 {
+		t.Fatalf("walk cache has %d entries, want 1", len(u.cache.walk))
 	}
 	got, ok = cachedFrame(t, u, root, va+123)
 	if !ok || got != f {
@@ -39,8 +39,8 @@ func TestWalkCacheNegativeNotCached(t *testing.T) {
 	if _, ok := cachedFrame(t, u, root, 0x400000); ok {
 		t.Fatal("unmapped page resolved")
 	}
-	if len(u.walk) != 0 {
-		t.Fatalf("negative walk was cached: %d entries", len(u.walk))
+	if len(u.cache.walk) != 0 {
+		t.Fatalf("negative walk was cached: %d entries", len(u.cache.walk))
 	}
 }
 
@@ -145,8 +145,8 @@ func TestWalkCacheInvalidatePageIn(t *testing.T) {
 		t.Fatal("expected mapping")
 	}
 	u.InvalidatePageIn(root, va+5) // any address within the page
-	if len(u.walk) != 0 {
-		t.Fatalf("InvalidatePageIn left %d entries", len(u.walk))
+	if len(u.cache.walk) != 0 {
+		t.Fatalf("InvalidatePageIn left %d entries", len(u.cache.walk))
 	}
 }
 
@@ -208,8 +208,8 @@ func TestWalkCacheSurvivesSetRoot(t *testing.T) {
 		t.Fatal("expected mapping in root1")
 	}
 	u.SetRoot(root2)
-	if len(u.walk) != 1 {
-		t.Fatalf("SetRoot dropped walk-cache entries: %d left, want 1", len(u.walk))
+	if len(u.cache.walk) != 1 {
+		t.Fatalf("SetRoot dropped walk-cache entries: %d left, want 1", len(u.cache.walk))
 	}
 	if got, _ := cachedFrame(t, u, root1, va); got != f1 {
 		t.Fatal("cross-AS translation lost after SetRoot")
@@ -235,11 +235,11 @@ func TestWalkCacheFreedTableFrame(t *testing.T) {
 	if err := m.FreeFrame(table); err != nil {
 		t.Fatal(err)
 	}
-	if len(u.walk) != 0 {
-		t.Fatalf("FreeFrame of a table frame left %d cached walks", len(u.walk))
+	if len(u.cache.walk) != 0 {
+		t.Fatalf("FreeFrame of a table frame left %d cached walks", len(u.cache.walk))
 	}
-	if len(u.walkDeps) != 0 {
-		t.Fatalf("FreeFrame left %d dependency sets", len(u.walkDeps))
+	if len(u.cache.walkDeps) != 0 {
+		t.Fatalf("FreeFrame left %d dependency sets", len(u.cache.walkDeps))
 	}
 }
 
@@ -257,8 +257,8 @@ func TestWalkCacheSetTypeInvalidates(t *testing.T) {
 	if err := m.SetType(table, FrameUserData); err != nil {
 		t.Fatal(err)
 	}
-	if len(u.walk) != 0 {
-		t.Fatalf("SetType away from FramePageTable left %d cached walks", len(u.walk))
+	if len(u.cache.walk) != 0 {
+		t.Fatalf("SetType away from FramePageTable left %d cached walks", len(u.cache.walk))
 	}
 }
 

@@ -111,11 +111,12 @@ type Kernel struct {
 	FS  *FS
 	Net *NetStack
 
-	procs      map[int]*Proc
-	nextPID    int
-	lastRunPID int
-	cur        *Proc
-	syscalls   map[uint64]SyscallHandler
+	procs    map[int]*Proc
+	nextPID  int
+	cpus     []*cpuRun // per-CPU run queues (see sched.go)
+	lastCPU  int       // round-robin cursor over cpus
+	cur      *Proc
+	syscalls map[uint64]SyscallHandler
 	modules    []*Module
 	coreMod    *Module
 
@@ -212,6 +213,11 @@ type Stats struct {
 	SignalsSent    uint64
 	SignalsBlocked uint64
 	ForksCreated   uint64
+	// IPIs counts rescheduling interrupts the kernel sent for
+	// cross-CPU signal delivery; Steals counts run-queue migrations by
+	// idle CPUs. Both stay zero on single-CPU machines.
+	IPIs   uint64
+	Steals uint64
 }
 
 // Program is an installed executable: the signed binary plus its entry
@@ -253,6 +259,11 @@ func Boot(hal core.HAL) (*Kernel, error) {
 		refInterps:   make(map[vir.Env]*vir.Interp),
 		modEnvs:      make(map[hw.Frame]vir.Env),
 	}
+	k.cpus = make([]*cpuRun, k.M.NumCPUs())
+	for i := range k.cpus {
+		k.cpus[i] = &cpuRun{id: i}
+	}
+	k.lastCPU = len(k.cpus) - 1 // first schedStep starts at CPU 0
 	k.installIntrinsics()
 	hal.RegisterFrameSource(frameSource{m: k.M.Mem})
 	hal.RegisterTrapHandler(k.trapEntry)

@@ -85,6 +85,9 @@ type Proc struct {
 	k    *Kernel
 	tid  core.ThreadID
 	root hw.Frame
+	// cpu is the process's home CPU (run-queue index); work stealing
+	// migrates it.
+	cpu int
 
 	state  procState
 	cond   func() bool // block predicate while procBlocked
@@ -159,7 +162,11 @@ func (k *Kernel) newProc(name string, parent *Proc, main func(p *Proc)) (*Proc, 
 		&VMA{Base: UserHeapBase, NPages: 1 << 16, Kind: vmaHeap},
 		&VMA{Base: UserStackTop - stackPages*hw.PageSize, NPages: stackPages, Kind: vmaStack},
 	)
+	// Home-CPU affinity: spread processes across the machine's CPUs
+	// round-robin by PID (on one CPU everything lands on CPU 0).
+	p.cpu = (pid - 1) % k.M.NumCPUs()
 	k.procs[pid] = p
+	k.schedAdd(p)
 	if parent != nil {
 		parent.children[pid] = p
 	}
@@ -191,6 +198,7 @@ func (k *Kernel) SpawnProgram(name string) (*Proc, error) {
 	}
 	if err := k.HAL.LoadBinary(p.tid, prog.Bin); err != nil {
 		p.state = procDead
+		k.schedRemove(p)
 		delete(k.procs, p.PID)
 		return nil, err
 	}
@@ -301,9 +309,9 @@ func (p *Proc) Syscall(num uint64, args ...uint64) uint64 {
 	// kernel (interrupted-state tampering), the CPU resumes wherever it
 	// now points — including attacker-planted code. Under Virtual
 	// Ghost the saved state is unreachable, so this never triggers.
-	if rip := p.k.M.CPU.Regs.RIP; rip != 0 {
+	if rip := p.k.M.Cur().Regs.RIP; rip != 0 {
 		if fn, ok := p.k.planted[rip]; ok {
-			p.k.M.CPU.Regs.RIP = 0
+			p.k.M.Cur().Regs.RIP = 0
 			fn(p, nil)
 		}
 	}
@@ -466,7 +474,7 @@ func (p *Proc) faultingAccess(do func() error) {
 func (p *Proc) Read(va uint64, n int) []byte {
 	var out []byte
 	p.faultingAccess(func() error {
-		b, err := p.k.M.CPU.CopyFromVirt(hw.Virt(va), n)
+		b, err := p.k.M.Cur().CopyFromVirt(hw.Virt(va), n)
 		if err != nil {
 			return err
 		}
@@ -479,7 +487,7 @@ func (p *Proc) Read(va uint64, n int) []byte {
 // Write copies bytes into user memory.
 func (p *Proc) Write(va uint64, b []byte) {
 	p.faultingAccess(func() error {
-		return p.k.M.CPU.CopyToVirt(hw.Virt(va), b)
+		return p.k.M.Cur().CopyToVirt(hw.Virt(va), b)
 	})
 }
 
@@ -487,7 +495,7 @@ func (p *Proc) Write(va uint64, b []byte) {
 func (p *Proc) Load(va uint64, size int) uint64 {
 	var out uint64
 	p.faultingAccess(func() error {
-		v, err := p.k.M.CPU.LoadVirt(hw.Virt(va), size)
+		v, err := p.k.M.Cur().LoadVirt(hw.Virt(va), size)
 		if err != nil {
 			return err
 		}
@@ -500,7 +508,7 @@ func (p *Proc) Load(va uint64, size int) uint64 {
 // Store writes a size-byte little-endian value to user memory.
 func (p *Proc) Store(va uint64, size int, v uint64) {
 	p.faultingAccess(func() error {
-		return p.k.M.CPU.StoreVirt(hw.Virt(va), size, v)
+		return p.k.M.Cur().StoreVirt(hw.Virt(va), size, v)
 	})
 }
 

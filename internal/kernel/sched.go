@@ -6,22 +6,69 @@ import (
 	"repro/internal/hw"
 )
 
-// This file is the scheduler: a round-robin run queue over cooperative
-// process goroutines, serialized so exactly one goroutine (a process or
-// the scheduler itself) runs at a time — the single-core machine model
-// matching the prototype's single-socket testbed.
+// This file is the scheduler: per-CPU round-robin run queues over
+// cooperative process goroutines, serialized so exactly one goroutine
+// (a process or the scheduler itself) runs at a time. Virtual CPUs are
+// stepped by a deterministic round-robin interleaver — never by host
+// goroutines — so multi-CPU runs are exactly reproducible. On a
+// single-CPU machine this reduces to the original global run queue.
+//
+// Virtual parallelism is modeled by attribution, not by concurrent
+// host execution: every dispatch samples the clock around the
+// process's time slice and charges it to the dispatching CPU's busy
+// counter. Experiments derive per-CPU utilization and makespan
+// (max busy across CPUs) from these counters.
 
-// pickNext promotes blocked processes whose wait condition has become
-// true and returns the next runnable process in round-robin order
-// (first runnable PID strictly after the last-dispatched one, wrapping).
-func (k *Kernel) pickNext() *Proc {
-	var pids []int
-	for pid := range k.procs {
-		pids = append(pids, pid)
+// cpuRun is one virtual CPU's scheduler state: a sorted PID run queue,
+// maintained incrementally on process creation/exit/migration rather
+// than rebuilt per dispatch, plus round-robin and accounting state.
+type cpuRun struct {
+	id      int
+	pids    []int // ascending; invariant maintained by schedAdd/schedRemove
+	lastPID int   // last dispatched PID (round-robin cursor)
+	busy    uint64
+}
+
+// insertPID adds pid to the sorted queue.
+func (c *cpuRun) insertPID(pid int) {
+	i := len(c.pids)
+	for i > 0 && c.pids[i-1] > pid {
+		i--
 	}
-	sortInts(pids)
+	c.pids = append(c.pids, 0)
+	copy(c.pids[i+1:], c.pids[i:])
+	c.pids[i] = pid
+}
+
+// removePID drops pid from the queue (no-op if absent).
+func (c *cpuRun) removePID(pid int) {
+	for i, v := range c.pids {
+		if v == pid {
+			c.pids = append(c.pids[:i], c.pids[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedAdd enqueues a new process on its home CPU's run queue.
+func (k *Kernel) schedAdd(p *Proc) {
+	k.cpus[p.cpu].insertPID(p.PID)
+}
+
+// schedRemove drops a reaped process from its run queue.
+func (k *Kernel) schedRemove(p *Proc) {
+	k.cpus[p.cpu].removePID(p.PID)
+}
+
+// pickNextOn promotes blocked processes on c's queue whose wait
+// condition has become true and returns the next runnable process in
+// round-robin order (first runnable PID strictly after the
+// last-dispatched one, wrapping). The queue is kept sorted by
+// schedAdd/schedRemove, so this is one linear scan with no per-call
+// rebuild or sort.
+func (k *Kernel) pickNextOn(c *cpuRun) *Proc {
 	var first, after *Proc
-	for _, pid := range pids {
+	for _, pid := range c.pids {
 		p := k.procs[pid]
 		if p.state == procBlocked && p.cond != nil && p.cond() {
 			p.state = procRunnable
@@ -33,7 +80,7 @@ func (k *Kernel) pickNext() *Proc {
 		if first == nil {
 			first = p
 		}
-		if after == nil && pid > k.lastRunPID {
+		if after == nil && pid > c.lastPID {
 			after = p
 		}
 	}
@@ -43,9 +90,39 @@ func (k *Kernel) pickNext() *Proc {
 	return first
 }
 
-// dispatch runs one process until it yields, blocks, or exits.
-func (k *Kernel) dispatch(p *Proc) {
-	k.lastRunPID = p.PID
+// steal migrates a runnable process from another CPU's queue to the
+// idle CPU c. Queues are scanned in a deterministic order starting
+// after c; only already-runnable processes are taken (blocked ones are
+// promoted by their home CPU's own pickNextOn pass).
+func (k *Kernel) steal(c *cpuRun) *Proc {
+	n := len(k.cpus)
+	for i := 1; i < n; i++ {
+		victim := k.cpus[(c.id+i)%n]
+		for _, pid := range victim.pids {
+			p := k.procs[pid]
+			if p.state != procRunnable {
+				continue
+			}
+			victim.removePID(pid)
+			p.cpu = c.id
+			c.insertPID(pid)
+			k.stats.Steals++
+			return p
+		}
+	}
+	return nil
+}
+
+// dispatchOn runs one process on CPU c until it yields, blocks, or
+// exits, attributing the elapsed virtual time to c.
+func (k *Kernel) dispatchOn(c *cpuRun, p *Proc) {
+	k.M.SetCurrentCPU(c.id)
+	start := k.M.Clock.Cycles()
+	// Pending IPIs (rescheduling requests from cross-CPU signal posts)
+	// are delivered now: their architectural effect is forcing this
+	// trip through the scheduler.
+	k.M.DrainIPIs(c.id)
+	c.lastPID = p.PID
 	k.stats.ContextSwitch++
 	k.HAL.KAccess(workSched)
 	k.M.Clock.Advance(hw.CostContextSwitch)
@@ -53,11 +130,35 @@ func (k *Kernel) dispatch(p *Proc) {
 	if err := k.HAL.LoadAddressSpace(p.root); err != nil {
 		panic(fmt.Sprintf("kernel: context switch to pid %d: %v", p.PID, err))
 	}
-	k.M.CPU.Regs.Priv = hw.User
+	k.M.Cur().Regs.Priv = hw.User
 	k.cur = p
 	p.runCh <- struct{}{}
 	<-p.yldCh
 	k.cur = nil
+	c.busy += k.M.Clock.Cycles() - start
+}
+
+// schedStep advances the machine by one dispatch: CPUs are offered the
+// chance to run in round-robin order starting after the CPU that
+// dispatched last; a CPU with an empty queue tries to steal. Reports
+// whether any process ran.
+func (k *Kernel) schedStep() bool {
+	n := len(k.cpus)
+	for i := 0; i < n; i++ {
+		id := (k.lastCPU + 1 + i) % n
+		c := k.cpus[id]
+		p := k.pickNextOn(c)
+		if p == nil && n > 1 {
+			p = k.steal(c)
+		}
+		if p == nil {
+			continue
+		}
+		k.lastCPU = id
+		k.dispatchOn(c, p)
+		return true
+	}
+	return false
 }
 
 // RunUntilIdle schedules processes until none is runnable (all blocked,
@@ -66,11 +167,9 @@ func (k *Kernel) dispatch(p *Proc) {
 func (k *Kernel) RunUntilIdle() {
 	for {
 		k.Net.Poll()
-		p := k.pickNext()
-		if p == nil {
+		if !k.schedStep() {
 			return
 		}
-		k.dispatch(p)
 	}
 }
 
@@ -79,11 +178,9 @@ func (k *Kernel) RunUntilIdle() {
 func (k *Kernel) RunUntil(done func() bool) bool {
 	for !done() {
 		k.Net.Poll()
-		p := k.pickNext()
-		if p == nil {
+		if !k.schedStep() {
 			return done()
 		}
-		k.dispatch(p)
 	}
 	return true
 }
@@ -98,6 +195,21 @@ func (k *Kernel) NumLive() int {
 		}
 	}
 	return n
+}
+
+// NumCPUs returns the machine's virtual CPU count.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// CPUBusy returns the busy-cycle counter of each virtual CPU: the
+// virtual time spent in that CPU's dispatches since boot. The CPU-
+// scaling experiment derives makespan (max over CPUs of the busy
+// delta) and per-CPU utilization from these.
+func (k *Kernel) CPUBusy() []uint64 {
+	out := make([]uint64, len(k.cpus))
+	for i, c := range k.cpus {
+		out[i] = c.busy
+	}
+	return out
 }
 
 // World co-schedules several machines' kernels (e.g. the server and the
@@ -125,16 +237,6 @@ func (w *World) Run(done func() bool) bool {
 		}
 		if !progress {
 			return done()
-		}
-	}
-}
-
-func sortInts(xs []int) {
-	// insertion sort: pid lists are tiny and this keeps the hot
-	// scheduler path allocation-free beyond the slice itself.
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
 }

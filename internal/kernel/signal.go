@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"repro/internal/core"
+	"repro/internal/hw"
 )
 
 // sysSigaction implements sigaction(sig, handlerAddr): records the
@@ -40,6 +41,13 @@ func sysKill(k *Kernel, p *Proc, ic core.IContext) uint64 {
 // use it too).
 func (k *Kernel) postSignal(target *Proc, sig int) {
 	k.stats.SignalsSent++
+	// Cross-CPU delivery: if the target lives on another CPU's run
+	// queue, poke that CPU with a rescheduling IPI so it notices the
+	// pending signal on its next dispatch.
+	if k.M.NumCPUs() > 1 && target.cpu != k.M.CurCPU() {
+		k.M.SendIPI(target.cpu, hw.IPIResched, uint64(target.PID))
+		k.stats.IPIs++
+	}
 	if sig == SIGKILL {
 		k.forceExit(target, 128+SIGKILL)
 		return

@@ -41,6 +41,7 @@ func (p *Proc) sysExitInternal(code int) {
 	if p.parent == nil {
 		// Nothing will wait for us; become fully dead.
 		p.state = procDead
+		k.schedRemove(p)
 		delete(k.procs, p.PID)
 	}
 }
@@ -118,6 +119,7 @@ func sysWait4(k *Kernel, p *Proc, ic core.IContext) uint64 {
 		}
 	}
 	zombie.state = procDead
+	k.schedRemove(zombie)
 	delete(p.children, zombie.PID)
 	delete(k.procs, zombie.PID)
 	return uint64(zombie.PID)

@@ -81,7 +81,9 @@ func MustNewSystem(mode Mode) *System {
 func NewSystemWithOptions(mode Mode, opts Options) (*System, error) {
 	cfg := opts.Machine
 	if cfg.MemFrames == 0 && cfg.DiskBlocks == 0 && cfg.Seed == 0 {
+		ncpus := cfg.NumCPUs
 		cfg = hw.DefaultConfig()
+		cfg.NumCPUs = ncpus
 	}
 	var m *hw.Machine
 	if opts.SharedClock != nil {
