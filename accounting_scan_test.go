@@ -1,0 +1,67 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// rawAdvance matches calls to the legacy untagged clock entry points.
+var rawAdvance = regexp.MustCompile(`\.Advance(Bytes)?\(`)
+
+// TestNoRawAdvanceOutsideAccountingLayer enforces the tagged-accounting
+// refactor at the source level: production code must charge cycles
+// through Clock.Charge/ChargeBytes with a real cost tag, never through
+// the untagged Advance/AdvanceBytes wrappers. The wrappers live on for
+// tests that simulate the passage of time (and are defined in
+// internal/hw/clock.go), so _test.go files and the clock itself are
+// exempt. Anything else that calls them books cycles under TagOther and
+// silently degrades every breakdown this PR added.
+func TestNoRawAdvanceOutsideAccountingLayer(t *testing.T) {
+	var offenders []string
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			switch info.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		slash := filepath.ToSlash(path)
+		if !strings.HasSuffix(slash, ".go") || strings.HasSuffix(slash, "_test.go") {
+			return nil
+		}
+		if slash == "internal/hw/clock.go" {
+			return nil // defines the wrappers
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			if rawAdvance.MatchString(line) {
+				offenders = append(offenders,
+					fmt.Sprintf("%s:%d: %s", slash, i+1, trimmed))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking source tree: %v", err)
+	}
+	if len(offenders) > 0 {
+		t.Errorf("raw Clock.Advance/AdvanceBytes calls in non-test code "+
+			"(use Clock.Charge/ChargeBytes with a cost tag):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}

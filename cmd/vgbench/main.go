@@ -15,23 +15,33 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use small iteration counts")
-	only := flag.String("only", "", "run a single experiment: t2|t3|t4|t5|f2|f3|f4|sec|cpu")
+	only := flag.String("only", "", "run a single experiment: "+strings.Join(experimentNames, "|"))
 	cpus := flag.Int("cpus", 8, "top of the SMP sweep for the cpu-scaling experiment (1/2/4/8 up to this)")
 	parallel := flag.Bool("parallel", false, "fan independent measurements out over host goroutines (identical results, less wall-clock)")
 	csvDir := flag.String("csv", "", "also write machine-readable results to this directory")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<date>.json with overheads, host ns, and host allocs per experiment")
+	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution under Table 2/3/4")
+	traceOut := flag.String("trace", "", "record tagged charge events and write a Chrome trace_event JSON file at exit")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *only != "" && !validExperiments[*only] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n",
+			*only, strings.Join(experimentNames, ", "))
+		os.Exit(2)
+	}
 
 	eng, err := kernel.ParseEngine(*engineFlag)
 	if err != nil {
@@ -39,6 +49,14 @@ func main() {
 		os.Exit(2)
 	}
 	kernel.SetDefaultEngine(eng)
+
+	var tracer *hw.Tracer
+	if *traceOut != "" {
+		// Every system the experiments boot attaches the default tracer,
+		// so the trace spans all measurements of the run.
+		tracer = hw.NewTracer(hw.DefaultTraceCapacity)
+		hw.SetDefaultTracer(tracer)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -71,9 +89,10 @@ func main() {
 	}
 
 	report := experiments.BenchReport{
-		Date:    time.Now().Format("2006-01-02"),
-		Scale:   scaleName,
-		NumCPUs: *cpus,
+		SchemaVersion: experiments.BenchSchemaVersion,
+		Date:          time.Now().Format("2006-01-02"),
+		Scale:         scaleName,
+		NumCPUs:       *cpus,
 	}
 	// timed runs one experiment and captures its host cost: wall clock
 	// plus allocation count/bytes (MemStats deltas, so they include
@@ -87,18 +106,22 @@ func main() {
 		runtime.ReadMemStats(&m1)
 		return ns, int64(m1.Mallocs - m0.Mallocs), int64(m1.TotalAlloc - m0.TotalAlloc)
 	}
-	record := func(name string, ns, allocs, allocBytes int64, metrics map[string]float64) {
+	record := func(name string, ns, allocs, allocBytes int64, metrics map[string]float64) *experiments.BenchEntry {
 		report.Entries = append(report.Entries, experiments.BenchEntry{
 			Name: name, HostNs: ns,
 			HostAllocs: allocs, HostAllocBytes: allocBytes,
 			Metrics: metrics,
 		})
+		return &report.Entries[len(report.Entries)-1]
 	}
 
 	if run("t2") {
 		var rows []experiments.T2Row
 		ns, allocs, ab := timed(func() { rows = experiments.Table2(sc) })
 		fmt.Println(experiments.FormatTable2(rows))
+		if *breakdown {
+			fmt.Println(experiments.FormatT2Breakdown(rows))
+		}
 		if *csvDir != "" {
 			export(experiments.ExportTable2(*csvDir, rows))
 		}
@@ -106,12 +129,22 @@ func main() {
 		for _, r := range rows {
 			metrics[metricKey(r.Test)+"_x"] = r.Overhead
 		}
-		record("table2_lmbench", ns, allocs, ab, metrics)
+		e := record("table2_lmbench", ns, allocs, ab, metrics)
+		e.Breakdown = make(map[string]map[string]uint64, 3*len(rows))
+		for _, r := range rows {
+			key := metricKey(r.Test)
+			e.Breakdown[key+"/native"] = experiments.BreakdownMap(r.NativeLedger)
+			e.Breakdown[key+"/vghost"] = experiments.BreakdownMap(r.VGLedger)
+			e.Breakdown[key+"/shadow"] = experiments.BreakdownMap(r.ShadowLedger)
+		}
 	}
 	if run("t3") {
 		var rows []experiments.FileRateRow
 		ns, allocs, ab := timed(func() { rows = experiments.Table3(sc) })
 		fmt.Println(experiments.FormatFileRates("Table 3. Files deleted per second", rows))
+		if *breakdown {
+			fmt.Println(experiments.FormatFileRateBreakdown("Table 3", rows))
+		}
 		if *csvDir != "" {
 			export(experiments.ExportFileRates(*csvDir, "table3", rows))
 		}
@@ -119,12 +152,16 @@ func main() {
 		for _, r := range rows {
 			metrics[fmt.Sprintf("delete_%db_x", r.SizeBytes)] = r.Overhead
 		}
-		record("table3_file_delete", ns, allocs, ab, metrics)
+		e := record("table3_file_delete", ns, allocs, ab, metrics)
+		e.Breakdown = fileRateBreakdowns("delete", rows)
 	}
 	if run("t4") {
 		var rows []experiments.FileRateRow
 		ns, allocs, ab := timed(func() { rows = experiments.Table4(sc) })
 		fmt.Println(experiments.FormatFileRates("Table 4. Files created per second", rows))
+		if *breakdown {
+			fmt.Println(experiments.FormatFileRateBreakdown("Table 4", rows))
+		}
 		if *csvDir != "" {
 			export(experiments.ExportFileRates(*csvDir, "table4", rows))
 		}
@@ -132,7 +169,8 @@ func main() {
 		for _, r := range rows {
 			metrics[fmt.Sprintf("create_%db_x", r.SizeBytes)] = r.Overhead
 		}
-		record("table4_file_create", ns, allocs, ab, metrics)
+		e := record("table4_file_create", ns, allocs, ab, metrics)
+		e.Breakdown = fileRateBreakdowns("create", rows)
 	}
 	if run("f2") {
 		var pts []experiments.BandwidthPoint
@@ -213,12 +251,6 @@ func main() {
 		}
 		record("cpu_scaling_ghost_httpd", ns, allocs, ab, metrics)
 	}
-	if *only != "" && !map[string]bool{"t2": true, "t3": true, "t4": true, "t5": true,
-		"f2": true, "f3": true, "f4": true, "sec": true, "cpu": true}[*only] {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
-	}
-
 	if *jsonOut {
 		path := "BENCH_" + report.Date + ".json"
 		if err := experiments.WriteBenchJSON(path, report); err != nil {
@@ -226,6 +258,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events kept, %d dropped)\n",
+			*traceOut, len(tracer.Events()), tracer.Dropped())
 	}
 
 	if *memProfile != "" {
@@ -241,6 +291,28 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// experimentNames are the valid -only values, in run order.
+var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu"}
+
+var validExperiments = func() map[string]bool {
+	m := make(map[string]bool, len(experimentNames))
+	for _, n := range experimentNames {
+		m[n] = true
+	}
+	return m
+}()
+
+// fileRateBreakdowns builds the JSON breakdown map for a Table 3/4 run.
+func fileRateBreakdowns(op string, rows []experiments.FileRateRow) map[string]map[string]uint64 {
+	out := make(map[string]map[string]uint64, 2*len(rows))
+	for _, r := range rows {
+		key := fmt.Sprintf("%s_%db", op, r.SizeBytes)
+		out[key+"/native"] = experiments.BreakdownMap(r.NativeLedger)
+		out[key+"/vghost"] = experiments.BreakdownMap(r.VGLedger)
+	}
+	return out
 }
 
 // metricKey turns a human-readable test name into a snake_case metric

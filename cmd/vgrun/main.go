@@ -26,6 +26,8 @@ func main() {
 	n := flag.Int("n", 2000, "transaction/iteration count")
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
+	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution and the per-syscall profile")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of tagged charges")
 	flag.Parse()
 
 	eng, err := kernel.ParseEngine(*engineFlag)
@@ -34,6 +36,12 @@ func main() {
 		os.Exit(2)
 	}
 	kernel.SetDefaultEngine(eng)
+
+	var tracer *hw.Tracer
+	if *traceOut != "" {
+		tracer = hw.NewTracer(hw.DefaultTraceCapacity)
+		hw.SetDefaultTracer(tracer)
+	}
 
 	var mode repro.Mode
 	switch *modeFlag {
@@ -107,6 +115,35 @@ func main() {
 	}
 	for _, line := range sys.Console() {
 		fmt.Println("console:", line)
+	}
+
+	if *breakdown {
+		fmt.Println("cycle breakdown (since boot):")
+		for _, s := range k.M.Clock.Ledger().TopShares() {
+			fmt.Printf("  %-10s %6.1f%%  %d cycles\n", s.Tag, s.Share*100, s.Cycles)
+		}
+		if prof := k.SyscallProfile(); len(prof) > 0 {
+			fmt.Println("syscall profile (total cycles, desc):")
+			for _, s := range prof {
+				fmt.Printf("  %-10s calls=%-6d total=%-10d mean=%-8.0f min=%-8d max=%d\n",
+					s.Name, s.Count, s.Cycles, s.Mean(), s.Min, s.Max)
+			}
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events kept, %d dropped)\n",
+			*traceOut, len(tracer.Events()), tracer.Dropped())
 	}
 }
 

@@ -33,7 +33,7 @@ const transferChunk = 32 * 1024
 
 // cryptCost charges the SSH transport cipher for n bytes on p's clock.
 func cryptCost(p *kernel.Proc, n int) {
-	p.Compute(uint64(n) * hw.CostCryptPerByte)
+	p.ComputeCrypt(uint64(n) * hw.CostCryptPerByte)
 }
 
 // KeygenMain is ssh-keygen: derive an authentication key pair from

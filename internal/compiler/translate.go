@@ -241,7 +241,7 @@ func (t *Translator) ChargeVerify(m *vir.Module) {
 			n += len(b.Instrs)
 		}
 	}
-	t.Clock.Advance(uint64(n) * hw.CostVerifyPerOp)
+	t.Clock.Charge(hw.TagVerify, uint64(n)*hw.CostVerifyPerOp)
 }
 
 // Entry returns the code address of a function in this translation.

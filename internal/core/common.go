@@ -142,7 +142,7 @@ func (h *halCommon) translateIn(root hw.Frame, va hw.Virt, acc hw.Access) (hw.Ph
 	// serve it and every call pays the full walk cost. The walk cache
 	// consulted by CachedLeaf is a host-side structure only; charging
 	// is identical whether it hits or misses.
-	h.m.Clock.Advance(hw.CostPTWalk)
+	h.m.Clock.Charge(hw.TagTLB, hw.CostPTWalk)
 	e, ok, err := h.m.MMU.CachedLeaf(root, va)
 	if err != nil {
 		return 0, err

@@ -47,7 +47,7 @@ func (h *NativeHAL) ModuleEnv(root hw.Frame, intrinsics IntrinsicFunc) vir.Env {
 func (e *moduleEnv) Clock() *hw.Clock { return e.h.m.Clock }
 
 func (e *moduleEnv) Load(addr hw.Virt, size int) (uint64, error) {
-	e.h.m.Clock.Advance(hw.CostMemAccess)
+	e.h.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	if hw.IsKernel(addr) {
 		return e.scratch.load(addr, size), nil
 	}
@@ -59,7 +59,7 @@ func (e *moduleEnv) Load(addr hw.Virt, size int) (uint64, error) {
 }
 
 func (e *moduleEnv) Store(addr hw.Virt, size int, v uint64) error {
-	e.h.m.Clock.Advance(hw.CostMemAccess)
+	e.h.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	if hw.IsKernel(addr) {
 		e.scratch.store(addr, size, v)
 		return nil
@@ -72,7 +72,7 @@ func (e *moduleEnv) Store(addr hw.Virt, size int, v uint64) error {
 }
 
 func (e *moduleEnv) Memcpy(dst, src hw.Virt, n int) error {
-	e.h.m.Clock.AdvanceBytes(n, hw.CostBcopyPerByte)
+	e.h.m.Clock.ChargeBytes(hw.TagMemAccess, n, hw.CostBcopyPerByte)
 	for i := 0; i < n; i++ {
 		v, err := e.Load(src+hw.Virt(i), 1)
 		if err != nil {
@@ -114,7 +114,7 @@ func (e *moduleEnv) PortIn(port uint16) (uint64, error) {
 	if e.vm != nil {
 		return e.vm.PortIn(port)
 	}
-	e.h.m.Clock.Advance(hw.CostMemAccess)
+	e.h.m.Clock.Charge(hw.TagIO, hw.CostMemAccess)
 	return e.h.m.Ports.In(port), nil
 }
 
@@ -122,7 +122,7 @@ func (e *moduleEnv) PortOut(port uint16, v uint64) error {
 	if e.vm != nil {
 		return e.vm.PortOut(port, v)
 	}
-	e.h.m.Clock.Advance(hw.CostMemAccess)
+	e.h.m.Clock.Charge(hw.TagIO, hw.CostMemAccess)
 	e.h.m.Ports.Out(port, v)
 	return nil
 }

@@ -41,7 +41,7 @@ func (vm *VM) AllocGhost(t ThreadID, root hw.Frame, va hw.Virt, npages int) erro
 		if err != nil {
 			return err
 		}
-		vm.m.Clock.Advance(hw.CostMMUCheckPerPage)
+		vm.m.Clock.Charge(hw.TagMMUCheck, hw.CostMMUCheckPerPage)
 		// Verify the OS removed every virtual-to-physical mapping for
 		// the frame before handing it over.
 		if vm.m.Mem.Refs(f) != 0 {
@@ -197,7 +197,7 @@ func (vm *VM) SwapOutGhost(t ThreadID, va hw.Virt) ([]byte, error) {
 		return nil, err
 	}
 	plain := append(swapHeader(va), raw...)
-	vm.m.Clock.Advance(hw.CostPageCrypt + hw.CostPageHash)
+	vm.m.Clock.Charge(hw.TagCrypt, hw.CostPageCrypt+hw.CostPageHash)
 	vm.swapCounter++
 	blob, err := vgcrypt.SealWithKeyAndCounter(vm.keys.swapKey(), vm.swapCounter, plain)
 	if err != nil {
@@ -224,7 +224,7 @@ func (vm *VM) SwapInGhost(t ThreadID, va hw.Virt, blob []byte) error {
 	if vgcrypt.Checksum(blob) != want {
 		return fmt.Errorf("%w: blob does not match the page swapped out at %#x (corruption or replay)", ErrSwap, uint64(va))
 	}
-	vm.m.Clock.Advance(hw.CostPageCrypt + hw.CostPageHash)
+	vm.m.Clock.Charge(hw.TagCrypt, hw.CostPageCrypt+hw.CostPageHash)
 	plain, err := vgcrypt.Open(vm.keys.swapKey(), blob)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrSwap, err)

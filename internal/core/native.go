@@ -370,14 +370,14 @@ func (h *NativeHAL) Random() uint64 { return h.m.RNG.Next() }
 
 // PortIn reads a port directly.
 func (h *NativeHAL) PortIn(port uint16) (uint64, error) {
-	h.m.Clock.Advance(hw.CostMemAccess)
+	h.m.Clock.Charge(hw.TagIO, hw.CostMemAccess)
 	return h.m.Ports.In(port), nil
 }
 
 // PortOut writes a port directly — including IOMMU programming that
 // exposes anything at all to DMA.
 func (h *NativeHAL) PortOut(port uint16, v uint64) error {
-	h.m.Clock.Advance(hw.CostMemAccess)
+	h.m.Clock.Charge(hw.TagIO, hw.CostMemAccess)
 	h.m.Ports.Out(port, v)
 	return nil
 }
@@ -386,17 +386,17 @@ func (h *NativeHAL) PortOut(port uint16, v uint64) error {
 
 // KAccess charges the bare memory-access cost.
 func (h *NativeHAL) KAccess(n int) {
-	h.m.Clock.Advance(uint64(n) * hw.CostMemAccess)
+	h.m.Clock.Charge(hw.TagMemAccess, uint64(n)*hw.CostMemAccess)
 }
 
 // OnIndirectCall charges the bare call cost.
 func (h *NativeHAL) OnIndirectCall(n int) {
-	h.m.Clock.Advance(uint64(n) * hw.CostCall)
+	h.m.Clock.Charge(hw.TagEngine, uint64(n)*hw.CostCall)
 }
 
 // BlockCopyCost charges the bare copy cost.
 func (h *NativeHAL) BlockCopyCost(n int) {
-	h.m.Clock.AdvanceBytes(n, hw.CostBcopyPerByte)
+	h.m.Clock.ChargeBytes(hw.TagMemAccess, n, hw.CostBcopyPerByte)
 }
 
 // --- uninstrumented kernel memory access --------------------------------
@@ -404,7 +404,7 @@ func (h *NativeHAL) BlockCopyCost(n int) {
 // KLoad reads exactly what the MMU maps — including application "ghost"
 // pages, since nothing masks the address.
 func (h *NativeHAL) KLoad(rootF hw.Frame, va hw.Virt, size int) (uint64, error) {
-	h.m.Clock.Advance(hw.CostMemAccess)
+	h.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	p, err := h.translateIn(rootF, va, hw.AccRead)
 	if err != nil {
 		return 0, err
@@ -414,7 +414,7 @@ func (h *NativeHAL) KLoad(rootF hw.Frame, va hw.Virt, size int) (uint64, error) 
 
 // KStore writes exactly where the MMU maps.
 func (h *NativeHAL) KStore(rootF hw.Frame, va hw.Virt, size int, v uint64) error {
-	h.m.Clock.Advance(hw.CostMemAccess)
+	h.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	p, err := h.translateIn(rootF, va, hw.AccWrite)
 	if err != nil {
 		return err

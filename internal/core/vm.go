@@ -134,12 +134,12 @@ func (vm *VM) Mode() Mode { return ModeVirtualGhost }
 // (paper §4.6).
 func (vm *VM) onTrap(tf *hw.TrapFrame) {
 	clk := vm.m.Clock
-	clk.Advance(hw.CostICSave)
+	clk.Charge(hw.TagICSave, hw.CostICSave)
 	tid := vm.currentTID()
 	ts := vm.thread(tid)
 	saved := cloneFrame(tf) // the copy in VM internal memory
 	ts.ic = saved
-	clk.Advance(hw.CostICZero)
+	clk.Charge(hw.TagICSave, hw.CostICZero)
 	vm.m.Cur().Regs.Zero(tf.Kind == hw.TrapSyscall)
 	if vm.handler == nil {
 		panic("core: trap with no kernel handler registered")
@@ -179,7 +179,7 @@ func (vm *VM) TranslateModule(m *vir.Module) (*compiler.Translation, error) {
 // for page-table use: the frame must not be mapped anywhere and must
 // not be a protected frame; it is zeroed before use.
 func (vm *VM) DeclarePTP(f hw.Frame) error {
-	vm.m.Clock.Advance(hw.CostMMUCheckPerPage)
+	vm.m.Clock.Charge(hw.TagMMUCheck, hw.CostMMUCheckPerPage)
 	switch vm.m.Mem.TypeOf(f) {
 	case hw.FrameGhost, hw.FrameSVA, hw.FrameIO, hw.FrameCode:
 		return fmt.Errorf("%w: frame %d is %v", ErrBadFrameForPTP, f, vm.m.Mem.TypeOf(f))
@@ -216,7 +216,7 @@ func (vm *VM) NewAddressSpace() (hw.Frame, error) {
 // or the SVA region, may not map ghost/SVA/IO frames anywhere, and may
 // not create writable mappings of page-table pages or code frames.
 func (vm *VM) checkMapPolicy(va hw.Virt, f hw.Frame, flags uint64) error {
-	vm.m.Clock.Advance(hw.CostMMUCheckPerPage)
+	vm.m.Clock.Charge(hw.TagMMUCheck, hw.CostMMUCheckPerPage)
 	if hw.IsGhost(va) {
 		return fmt.Errorf("%w: va %#x is in the ghost partition", ErrGhostMapping, uint64(va))
 	}
@@ -254,7 +254,7 @@ func (vm *VM) MapPage(root hw.Frame, va hw.Virt, f hw.Frame, flags uint64) error
 // memory, but unmapping inside the ghost partition is still refused —
 // only the VM manages those entries.
 func (vm *VM) UnmapPage(root hw.Frame, va hw.Virt) error {
-	vm.m.Clock.Advance(hw.CostMMUCheckPerPage)
+	vm.m.Clock.Charge(hw.TagMMUCheck, hw.CostMMUCheckPerPage)
 	if hw.IsGhost(va) {
 		return fmt.Errorf("%w: unmap of %#x", ErrGhostMapping, uint64(va))
 	}
@@ -278,23 +278,29 @@ func (vm *VM) LoadAddressSpace(root hw.Frame) error {
 
 // KAccess charges n instrumented kernel memory accesses: the base
 // access plus the sandboxing mask sequence the compiled kernel executes
-// before every load and store.
+// before every load and store. The base access and the mask land in
+// separate ledger buckets (so breakdowns can show what the sandbox adds
+// over native); splitting a sum across two Charge calls is exact, so the
+// total is bit-identical to the old combined Advance.
 func (vm *VM) KAccess(n int) {
-	vm.m.Clock.Advance(uint64(n) * (hw.CostMemAccess + hw.CostMaskCheck))
+	vm.m.Clock.Charge(hw.TagMemAccess, uint64(n)*hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagSandbox, uint64(n)*hw.CostMaskCheck)
 }
 
 // OnIndirectCall charges n indirect-call/return sites including their
-// CFI checks and landing pads.
+// CFI checks and landing pads. The base call cost is engine work; the
+// check + label are the CFI instrumentation's share.
 func (vm *VM) OnIndirectCall(n int) {
-	vm.m.Clock.Advance(uint64(n) * (hw.CostCall + hw.CostCFICheck + hw.CostCFILabel))
+	vm.m.Clock.Charge(hw.TagEngine, uint64(n)*hw.CostCall)
+	vm.m.Clock.Charge(hw.TagCFI, uint64(n)*(hw.CostCFICheck+hw.CostCFILabel))
 }
 
 // BlockCopyCost charges the instrumentation overhead of one kernel
 // memcpy: a mask per operand (the bulk per-byte cost is charged by the
 // copy implementation itself).
 func (vm *VM) BlockCopyCost(n int) {
-	vm.m.Clock.Advance(2 * hw.CostMaskCheck)
-	vm.m.Clock.AdvanceBytes(n, hw.CostBcopyPerByte)
+	vm.m.Clock.Charge(hw.TagSandbox, 2*hw.CostMaskCheck)
+	vm.m.Clock.ChargeBytes(hw.TagMemAccess, n, hw.CostBcopyPerByte)
 }
 
 // --- kernel memory access (the compiled kernel's loads/stores) -------
@@ -302,7 +308,7 @@ func (vm *VM) BlockCopyCost(n int) {
 // maskVA applies the sandboxing mask and its cost, exactly as the
 // instrumented load/store sequences do.
 func (vm *VM) maskVA(va hw.Virt) hw.Virt {
-	vm.m.Clock.Advance(hw.CostMaskCheck)
+	vm.m.Clock.Charge(hw.TagSandbox, hw.CostMaskCheck)
 	return hw.Virt(vir.MaskAddress(uint64(va)))
 }
 
@@ -312,7 +318,7 @@ func (vm *VM) maskVA(va hw.Virt) hw.Virt {
 // rootkit attack "simply reads unknown data out of its own address
 // space", paper §7).
 func (vm *VM) KLoad(root hw.Frame, va hw.Virt, size int) (uint64, error) {
-	vm.m.Clock.Advance(hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	va = vm.maskVA(va)
 	if hw.IsKernel(va) {
 		return vm.scratchLoad(va, size), nil
@@ -326,7 +332,7 @@ func (vm *VM) KLoad(root hw.Frame, va hw.Virt, size int) (uint64, error) {
 
 // KStore performs an instrumented kernel store.
 func (vm *VM) KStore(root hw.Frame, va hw.Virt, size int, v uint64) error {
-	vm.m.Clock.Advance(hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	va = vm.maskVA(va)
 	if hw.IsKernel(va) {
 		vm.scratchStore(va, size, v)
@@ -408,14 +414,14 @@ func (vm *VM) scratchStore(va hw.Virt, size int, v uint64) {
 
 // PortIn reads an I/O port through the VM's checked instruction.
 func (vm *VM) PortIn(port uint16) (uint64, error) {
-	vm.m.Clock.Advance(hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagIO, hw.CostMemAccess)
 	return vm.m.Ports.In(port), nil
 }
 
 // PortOut writes an I/O port, refusing IOMMU programming that would
 // expose ghost, SVA, or page-table frames to device DMA.
 func (vm *VM) PortOut(port uint16, v uint64) error {
-	vm.m.Clock.Advance(hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagIO, hw.CostMemAccess)
 	if vm.legacy {
 		// The prototype had not yet implemented the DMA protections
 		// (paper section 5); IOMMU programming passes through
@@ -443,7 +449,7 @@ func (vm *VM) PortOut(port uint16, v uint64) error {
 // (paper §4.7: defeats Iago attacks that feed applications non-random
 // numbers).
 func (vm *VM) Random() uint64 {
-	vm.m.Clock.Advance(hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	return vm.m.RNG.Next()
 }
 
@@ -458,7 +464,7 @@ func (vm *VM) Installer() *Installer { return &Installer{keys: vm.keys} }
 // section into VM memory, and binds it to the thread. Tampered binaries
 // are refused, preventing startup (security guarantee 4, paper §3.4).
 func (vm *VM) LoadBinary(t ThreadID, bin *Binary) error {
-	vm.m.Clock.Advance(hw.CostPageHash)
+	vm.m.Clock.Charge(hw.TagCrypt, hw.CostPageHash)
 	if !vm.keys.verifyBinary(bin) {
 		return ErrBadBinary
 	}

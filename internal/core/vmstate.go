@@ -20,7 +20,7 @@ func (vm *VM) NewState(parent IContext, child ThreadID) (IContext, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: NewState requires a Virtual Ghost interrupt context")
 	}
-	vm.m.Clock.Advance(hw.CostICSave)
+	vm.m.Clock.Charge(hw.TagICSave, hw.CostICSave)
 	cts := vm.thread(child)
 	cts.ic = cloneFrame(p.tf)
 	return &vgIC{baseIC{tf: cts.ic, tid: child}}, nil
@@ -45,7 +45,7 @@ func (vm *VM) ReinitIContext(ic IContext, entry uint64, stackTop uint64) error {
 	if ts.binName == "" {
 		return ErrNoBinary
 	}
-	vm.m.Clock.Advance(hw.CostICSave)
+	vm.m.Clock.Charge(hw.TagICSave, hw.CostICSave)
 	// Drop the previous image's ghost memory.
 	for va, f := range ts.ghost {
 		if err := vm.releaseGhostPage(ts, ts.root, va, f); err != nil {
@@ -66,7 +66,7 @@ func (vm *VM) ReinitIContext(ic IContext, entry uint64, stackTop uint64) error {
 func (vm *VM) PermitFunction(t ThreadID, addr uint64) error {
 	ts := vm.thread(t)
 	ts.permitted[addr] = true
-	vm.m.Clock.Advance(hw.CostMemAccess)
+	vm.m.Clock.Charge(hw.TagMemAccess, hw.CostMemAccess)
 	return nil
 }
 
@@ -84,7 +84,7 @@ func (vm *VM) IPushFunction(ic IContext, addr uint64, args ...uint64) error {
 	if err != nil {
 		return err
 	}
-	vm.m.Clock.Advance(hw.CostICSave / 2)
+	vm.m.Clock.Charge(hw.TagICSave, hw.CostICSave/2)
 	if !ts.permitted[addr] {
 		return fmt.Errorf("%w: %#x", ErrNotPermitted, addr)
 	}
@@ -122,7 +122,7 @@ func (vm *VM) SaveIC(t ThreadID) error {
 	if ts.ic == nil {
 		return fmt.Errorf("core: thread %d has no interrupt context to save", t)
 	}
-	vm.m.Clock.Advance(hw.CostICSave)
+	vm.m.Clock.Charge(hw.TagICSave, hw.CostICSave)
 	ts.icStack = append(ts.icStack, cloneFrame(ts.ic))
 	return nil
 }
@@ -137,7 +137,7 @@ func (vm *VM) LoadIC(t ThreadID) error {
 	if len(ts.icStack) == 0 {
 		return fmt.Errorf("core: thread %d has no saved interrupt context", t)
 	}
-	vm.m.Clock.Advance(hw.CostICSave)
+	vm.m.Clock.Charge(hw.TagICSave, hw.CostICSave)
 	top := ts.icStack[len(ts.icStack)-1]
 	ts.icStack = ts.icStack[:len(ts.icStack)-1]
 	*ts.ic = *top

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/apps/lmbench"
+	"repro/internal/hw"
+)
+
+// TestBreakdownSumsToTotal is the whole-system accounting consistency
+// check (run under -race in CI): after booting and driving each
+// configuration end to end, the per-tag ledger must sum to exactly the
+// clock's cycle counter, and the per-CPU ledgers must partition the
+// same total. If any charge path bypassed the ledger (or double-booked
+// a tag) this catches it on real workloads, not synthetic charges.
+func TestBreakdownSumsToTotal(t *testing.T) {
+	for _, mode := range []repro.Mode{repro.Native, repro.VirtualGhost, repro.Shadow} {
+		sys := newSystem(mode)
+		k := sys.Kernel
+		lmbench.NullSyscall(k, 40)
+		lmbench.OpenClose(k, 20)
+		clk := k.M.Clock
+		ledger := clk.Ledger()
+		if got, want := ledger.Total(), clk.Cycles(); got != want {
+			t.Errorf("[%v] ledger total %d != clock cycles %d (diff %d)",
+				mode, got, want, int64(want)-int64(got))
+		}
+		var perCPU uint64
+		for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+			l := clk.CPULedger(cpu)
+			perCPU += l.Total()
+		}
+		if perCPU != clk.Cycles() {
+			t.Errorf("[%v] per-CPU ledgers sum to %d, clock at %d",
+				mode, perCPU, clk.Cycles())
+		}
+		if ledger[hw.TagOther] != 0 {
+			t.Errorf("[%v] %d cycles booked under the unattributed tag on a production path",
+				mode, ledger[hw.TagOther])
+		}
+	}
+}
+
+// TestTable2CapturesLedgers checks that the Table 2 runner snapshots a
+// non-empty per-tag breakdown for every configuration and that each
+// breakdown excludes boot (it must be smaller than the whole-run
+// ledger would be, i.e. strictly measurement-delta shaped: non-zero
+// but consistent with its own total).
+func TestTable2CapturesLedgers(t *testing.T) {
+	sc := Scale{LMBenchIters: 10, FileCount: 20, HTTPRequests: 2, SSHRuns: 1, PostmarkTxns: 50}
+	rows := Table2(sc)
+	if len(rows) == 0 {
+		t.Fatal("no Table 2 rows")
+	}
+	for _, r := range rows {
+		if r.NativeLedger.Total() == 0 || r.VGLedger.Total() == 0 || r.ShadowLedger.Total() == 0 {
+			t.Errorf("%s: empty measurement ledger (native=%d vg=%d shadow=%d)",
+				r.Test, r.NativeLedger.Total(), r.VGLedger.Total(), r.ShadowLedger.Total())
+		}
+		// Virtual Ghost's defining costs must show up somewhere in its
+		// column but never in native's.
+		if r.NativeLedger[hw.TagSandbox] != 0 || r.NativeLedger[hw.TagICSave] != 0 {
+			t.Errorf("%s: native ledger carries VG instrumentation tags", r.Test)
+		}
+		if r.VGLedger[hw.TagSandbox] == 0 {
+			t.Errorf("%s: vghost ledger has no sandbox cycles", r.Test)
+		}
+	}
+}
+
+// TestBreakdownMap checks the JSON export shape: tag-name keys, zero
+// tags omitted, values preserving the ledger exactly.
+func TestBreakdownMap(t *testing.T) {
+	var l hw.Ledger
+	l[hw.TagSandbox] = 140
+	l[hw.TagTrap] = 120
+	m := BreakdownMap(l)
+	if len(m) != 2 {
+		t.Fatalf("BreakdownMap kept %d entries, want 2 (zero tags omitted)", len(m))
+	}
+	if m["sandbox"] != 140 || m["trap"] != 120 {
+		t.Errorf("BreakdownMap = %v", m)
+	}
+	var sum uint64
+	for name, v := range m {
+		if _, ok := hw.ParseTag(name); !ok {
+			t.Errorf("key %q is not a tag name", name)
+		}
+		sum += v
+	}
+	if sum != l.Total() {
+		t.Errorf("map sums to %d, ledger total %d", sum, l.Total())
+	}
+}

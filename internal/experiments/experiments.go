@@ -13,6 +13,7 @@ import (
 	"repro"
 	"repro/internal/apps/lmbench"
 	"repro/internal/apps/postmark"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 )
 
@@ -67,6 +68,13 @@ type T2Row struct {
 	Overhead float64 // VG/native
 	ShadowX  float64 // shadow/native
 	Paper    PaperT2
+	// Per-configuration cycle ledgers for the measurement itself (boot
+	// excluded): where the cycles of each column went, by cost tag. The
+	// ledger total for a config always equals its measured cycles — the
+	// tagged accounting partitions the same bit-identical totals.
+	NativeLedger hw.Ledger
+	VGLedger     hw.Ledger
+	ShadowLedger hw.Ledger
 }
 
 // paperTable2 is Table 2 of the paper.
@@ -104,9 +112,9 @@ func Table2(sc Scale) []T2Row {
 	forEach(sc.Parallel, len(benches), func(i int) {
 		b := benches[i]
 		row := T2Row{Test: b.name, Paper: paperTable2[b.name]}
-		row.Native = b.run(newSystem(repro.Native).Kernel)
-		row.VG = b.run(newSystem(repro.VirtualGhost).Kernel)
-		row.Shadow = b.run(newSystem(repro.Shadow).Kernel)
+		row.Native, row.NativeLedger = runLedgered(repro.Native, b.run)
+		row.VG, row.VGLedger = runLedgered(repro.VirtualGhost, b.run)
+		row.Shadow, row.ShadowLedger = runLedgered(repro.Shadow, b.run)
 		if row.Native > 0 {
 			row.Overhead = row.VG / row.Native
 			row.ShadowX = row.Shadow / row.Native
@@ -114,6 +122,16 @@ func Table2(sc Scale) []T2Row {
 		rows[i] = row
 	})
 	return rows
+}
+
+// runLedgered boots a fresh system, runs the measurement, and returns
+// its result together with the per-tag cycle delta of the measurement
+// (snapshotting the ledger around the run excludes boot costs).
+func runLedgered(mode repro.Mode, run func(k *kernel.Kernel) float64) (float64, hw.Ledger) {
+	sys := newSystem(mode)
+	pre := sys.Kernel.M.Clock.Ledger()
+	v := run(sys.Kernel)
+	return v, sys.Kernel.M.Clock.Ledger().Sub(pre)
 }
 
 // forEach runs body(0..n-1), on host goroutines when parallel is set.
@@ -156,6 +174,61 @@ func FormatTable2(rows []T2Row) string {
 	return sb.String()
 }
 
+// FormatT2Breakdown renders the per-tag cycle attribution of each
+// Table 2 measurement: where each configuration's cycles went, by cost
+// tag, so the VG-over-native overhead can be read off mechanism by
+// mechanism (ic-save vs. sandbox vs. mmu-check ...).
+func FormatT2Breakdown(rows []T2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2 breakdown. Share of measured cycles by cost tag\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s:\n", r.Test)
+		fmt.Fprintf(&sb, "  %-7s %s\n", "native", ledgerLine(r.NativeLedger))
+		fmt.Fprintf(&sb, "  %-7s %s\n", "vghost", ledgerLine(r.VGLedger))
+		fmt.Fprintf(&sb, "  %-7s %s\n", "shadow", ledgerLine(r.ShadowLedger))
+	}
+	return sb.String()
+}
+
+// FormatFileRateBreakdown is FormatT2Breakdown for Table 3/4 rows.
+func FormatFileRateBreakdown(title string, rows []FileRateRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + " breakdown. Share of measured cycles by cost tag\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s files:\n", sizeLabel(r.SizeBytes))
+		fmt.Fprintf(&sb, "  %-7s %s\n", "native", ledgerLine(r.NativeLedger))
+		fmt.Fprintf(&sb, "  %-7s %s\n", "vghost", ledgerLine(r.VGLedger))
+	}
+	return sb.String()
+}
+
+// breakdownTopN bounds how many tags a breakdown line spells out; the
+// rest are folded into a residual so lines stay one-line readable.
+const breakdownTopN = 6
+
+// ledgerLine renders a ledger as its top tag shares, e.g.
+// "ic-save 34.2%, sandbox 21.7%, trap 12.0%, +3 more (1234567 cycles)".
+func ledgerLine(l hw.Ledger) string {
+	total := l.Total()
+	if total == 0 {
+		return "(no cycles)"
+	}
+	shares := l.TopShares()
+	rest := 0
+	if len(shares) > breakdownTopN {
+		rest = len(shares) - breakdownTopN
+		shares = shares[:breakdownTopN]
+	}
+	parts := make([]string, 0, len(shares)+1)
+	for _, s := range shares {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", s.Tag, s.Share*100))
+	}
+	if rest > 0 {
+		parts = append(parts, fmt.Sprintf("+%d more", rest))
+	}
+	return strings.Join(parts, ", ") + fmt.Sprintf(" (%d cycles)", total)
+}
+
 // --- Tables 3 & 4: file delete / create rates --------------------------------
 
 // FileRateRow is one size row of Tables 3/4.
@@ -167,6 +240,9 @@ type FileRateRow struct {
 	PaperNat   float64
 	PaperVG    float64
 	PaperRatio float64
+	// Per-configuration cycle ledgers of the measurement (see T2Row).
+	NativeLedger hw.Ledger
+	VGLedger     hw.Ledger
 }
 
 var paperTable3 = map[int][3]float64{ // delete: size -> {native, vg, x}
@@ -201,8 +277,12 @@ func fileRates(sc Scale, f func(*kernel.Kernel, int, int) float64, paper map[int
 	forEach(sc.Parallel, len(FileSizes), func(i int) {
 		size := FileSizes[i]
 		r := FileRateRow{SizeBytes: size}
-		r.Native = f(newSystem(repro.Native).Kernel, size, sc.FileCount)
-		r.VG = f(newSystem(repro.VirtualGhost).Kernel, size, sc.FileCount)
+		r.Native, r.NativeLedger = runLedgered(repro.Native, func(k *kernel.Kernel) float64 {
+			return f(k, size, sc.FileCount)
+		})
+		r.VG, r.VGLedger = runLedgered(repro.VirtualGhost, func(k *kernel.Kernel) float64 {
+			return f(k, size, sc.FileCount)
+		})
 		if r.VG > 0 {
 			r.Overhead = r.Native / r.VG
 		}

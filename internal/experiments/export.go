@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/hw"
 )
 
 // This file exports experiment results as CSV for plotting (the
@@ -106,16 +108,41 @@ type BenchEntry struct {
 	HostAllocs     int64              `json:"host_allocs,omitempty"`
 	HostAllocBytes int64              `json:"host_alloc_bytes,omitempty"`
 	Metrics        map[string]float64 `json:"metrics"`
+	// Breakdown attributes the measured virtual cycles per configuration
+	// (e.g. "null syscall/vghost") to cost tags (tag name -> cycles).
+	// Present for experiments that capture ledgers (Table 2/3/4).
+	Breakdown map[string]map[string]uint64 `json:"breakdown,omitempty"`
 }
+
+// BenchSchemaVersion is the format version stamped into BenchReport as
+// schema_version. Bump it on any incompatible change to the report
+// shape; the format itself is documented in EXPERIMENTS.md.
+//
+// v1 (implicit, reports without the field): date/scale/num_cpus/experiments.
+// v2: adds schema_version and optional per-entry breakdown maps.
+const BenchSchemaVersion = 2
 
 // BenchReport is the cross-PR perf trajectory record written by
 // `vgbench -json` as BENCH_<date>.json.
 type BenchReport struct {
-	Date  string `json:"date"`
-	Scale string `json:"scale"`
+	SchemaVersion int    `json:"schema_version"`
+	Date          string `json:"date"`
+	Scale         string `json:"scale"`
 	// NumCPUs is the top of the SMP sweep (-cpus); 1 = single-CPU run.
 	NumCPUs int          `json:"num_cpus"`
 	Entries []BenchEntry `json:"experiments"`
+}
+
+// BreakdownMap converts a measurement ledger to the JSON breakdown
+// shape: tag name -> cycles, zero tags omitted.
+func BreakdownMap(l hw.Ledger) map[string]uint64 {
+	out := make(map[string]uint64)
+	for t := hw.Tag(0); t < hw.NumTags; t++ {
+		if l[t] > 0 {
+			out[t.String()] = l[t]
+		}
+	}
+	return out
 }
 
 // WriteBenchJSON writes the report to path.

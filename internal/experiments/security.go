@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	"repro"
 	"repro/internal/apps/ssh"
@@ -21,30 +22,88 @@ const AgentPort = 2222
 // SecurityMatrixWithCPUs for larger machines.
 func SecurityMatrix() []SecurityRow { return SecurityMatrixWithCPUs(2) }
 
+// securityVector is one registered attack vector: a stable selection
+// key (for `vgattack -only`) plus the function producing its row.
+type securityVector struct {
+	Key string
+	run func(ncpus int) SecurityRow
+}
+
+// securityVectors is the full suite, in report order. Keys are stable
+// CLI/JSON identifiers; the row's Attack field carries the display name.
+var securityVectors = []securityVector{
+	{"direct-read", func(int) SecurityRow { return rootkitRow("rootkit: direct read", attack.DirectRead) }},
+	{"sig-inject", func(int) SecurityRow { return rootkitRow("rootkit: signal inject", attack.SigInject) }},
+	{"mmu-remap", func(int) SecurityRow { return vectorRow("mmu remap", runMMURemap) }},
+	{"dma", func(int) SecurityRow { return vectorRow("dma", runDMA) }},
+	{"swap-inspect", func(int) SecurityRow { return vectorRow("swap inspect", runSwapInspect) }},
+	{"asm-module", func(int) SecurityRow {
+		return vectorRow("inline-asm module", func(s *repro.System) (bool, string) {
+			r := attack.AsmModuleAttack(s.Kernel)
+			return r.Succeeded, r.Detail
+		})
+	}},
+	{"rop", func(int) SecurityRow {
+		return vectorRow("kernel ROP", func(s *repro.System) (bool, string) {
+			r := attack.ROPAttack(s.Kernel, false)
+			return r.Succeeded, r.Detail
+		})
+	}},
+	{"fptr-hijack", func(int) SecurityRow {
+		return vectorRow("fptr hijack", func(s *repro.System) (bool, string) {
+			r := attack.ROPAttack(s.Kernel, true)
+			return r.Succeeded, r.Detail
+		})
+	}},
+	{"stale-tlb", staleTLBRow},
+}
+
+// SecurityVectorNames returns the valid `-only` keys, in suite order.
+func SecurityVectorNames() []string {
+	out := make([]string, len(securityVectors))
+	for i, v := range securityVectors {
+		out[i] = v.Key
+	}
+	return out
+}
+
 // SecurityMatrixWithCPUs is SecurityMatrix with the SMP vectors run on
 // an ncpus-CPU machine.
 func SecurityMatrixWithCPUs(ncpus int) []SecurityRow {
-	rows := []SecurityRow{
-		rootkitRow("rootkit: direct read", attack.DirectRead),
-		rootkitRow("rootkit: signal inject", attack.SigInject),
-		vectorRow("mmu remap", runMMURemap),
-		vectorRow("dma", runDMA),
-		vectorRow("swap inspect", runSwapInspect),
-		vectorRow("inline-asm module", func(s *repro.System) (bool, string) {
-			r := attack.AsmModuleAttack(s.Kernel)
-			return r.Succeeded, r.Detail
-		}),
-		vectorRow("kernel ROP", func(s *repro.System) (bool, string) {
-			r := attack.ROPAttack(s.Kernel, false)
-			return r.Succeeded, r.Detail
-		}),
-		vectorRow("fptr hijack", func(s *repro.System) (bool, string) {
-			r := attack.ROPAttack(s.Kernel, true)
-			return r.Succeeded, r.Detail
-		}),
-		staleTLBRow(ncpus),
+	rows, err := SecurityMatrixSelect(ncpus, nil)
+	if err != nil {
+		panic(err) // unreachable: nil selection never fails
 	}
 	return rows
+}
+
+// SecurityMatrixSelect runs the named subset of the attack suite (all
+// vectors when keys is empty), preserving suite order. An unknown key
+// is an error that lists the valid names.
+func SecurityMatrixSelect(ncpus int, keys []string) ([]SecurityRow, error) {
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		found := false
+		for _, v := range securityVectors {
+			if v.Key == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown attack vector %q (valid: %s)",
+				k, strings.Join(SecurityVectorNames(), ", "))
+		}
+		want[k] = true
+	}
+	rows := make([]SecurityRow, 0, len(securityVectors))
+	for _, v := range securityVectors {
+		if len(want) > 0 && !want[v.Key] {
+			continue
+		}
+		rows = append(rows, v.run(ncpus))
+	}
+	return rows, nil
 }
 
 // staleTLBRow runs the SMP stale-TLB attack; unlike the other vectors

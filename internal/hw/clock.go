@@ -104,24 +104,126 @@ const (
 	CostCryptPerByte = 2
 )
 
-// Clock is the virtual cycle counter for one machine. All durations in
-// experiments are differences of Clock readings.
+// Clock is the virtual cycle counter for one machine, plus the tagged
+// cost ledger that attributes every cycle to the mechanism that charged
+// it. All durations in experiments are differences of Clock readings.
+//
+// Invariant: the per-tag ledger is an exact partition of the total —
+// every path that advances cycles also credits exactly one tag, so
+// Ledger().Total() == Cycles() always. The tagging refactor changed only
+// *where* cycles are recorded, never *how many*: totals are bit-identical
+// to the pre-tag accounting (pinned by golden_cycles.json).
 type Clock struct {
 	cycles uint64
+	ledger Ledger
+	// perCPU attributes charges to the CPU selected by SetCPU. Sized by
+	// EnsureCPUs at machine construction; nil on bare clocks (tests),
+	// in which case only the machine-wide ledger accumulates.
+	perCPU []Ledger
+	cpu    int
+	// Trace context: host-side bookkeeping stamped onto trace events.
+	// Setting it costs no virtual cycles.
+	pid int32
+	ctx uint32
+	// tracer receives one event per charge when attached. The nil check
+	// is the entire disabled-path cost: no allocations, no cycles.
+	tracer *Tracer
 }
 
 // Cycles returns the current virtual time in cycles.
 func (c *Clock) Cycles() uint64 { return c.cycles }
 
-// Advance charges n cycles.
-func (c *Clock) Advance(n uint64) { c.cycles += n }
+// Charge advances the clock by n cycles attributed to tag. This is the
+// single entry point through which all simulated time passes.
+func (c *Clock) Charge(tag Tag, n uint64) {
+	start := c.cycles
+	c.cycles += n
+	c.ledger[tag] += n
+	if c.perCPU != nil {
+		c.perCPU[c.cpu][tag] += n
+	}
+	if c.tracer != nil && n > 0 {
+		c.tracer.record(TraceEvent{
+			Tag: tag, CPU: int32(c.cpu), PID: c.pid, Ctx: c.ctx,
+			Start: start, Dur: n,
+		})
+	}
+}
+
+// ChargeBytes charges the per-byte cost for an n-byte block operation at
+// the given per-8-byte cost, attributed to tag. Charging is per 8-byte
+// word, rounded up — a 1-byte copy costs one word (the rounding rule is
+// pinned by TestAdvanceBytesRounding).
+func (c *Clock) ChargeBytes(tag Tag, n int, costPer8 uint64) {
+	words := uint64(n+7) / 8
+	c.Charge(tag, words*costPer8)
+}
+
+// Advance charges n unattributed cycles (TagOther). Retained for tests
+// that simulate the passage of time; production charge paths use Charge
+// with a real tag — a source-scan test keeps raw Advance calls out of
+// non-test code.
+func (c *Clock) Advance(n uint64) { c.Charge(TagOther, n) }
 
 // AdvanceBytes charges the per-byte cost for an n-byte block operation
-// at the given per-8-byte cost.
+// at the given per-8-byte cost, unattributed (TagOther). See Advance.
 func (c *Clock) AdvanceBytes(n int, costPer8 uint64) {
-	words := uint64(n+7) / 8
-	c.cycles += words * costPer8
+	c.ChargeBytes(TagOther, n, costPer8)
 }
+
+// Ledger returns a snapshot of the machine-wide per-tag cycle account.
+func (c *Clock) Ledger() Ledger { return c.ledger }
+
+// CPULedger returns a snapshot of the per-tag account for one CPU, or a
+// zero ledger if per-CPU tracking is not enabled or the CPU is out of
+// range.
+func (c *Clock) CPULedger(cpu int) Ledger {
+	if cpu < 0 || cpu >= len(c.perCPU) {
+		return Ledger{}
+	}
+	return c.perCPU[cpu]
+}
+
+// EnsureCPUs enables per-CPU attribution for at least n CPUs. Machines
+// call this at construction; on a shared clock (networked pairs) the
+// slice grows to the largest machine.
+func (c *Clock) EnsureCPUs(n int) {
+	if n > len(c.perCPU) {
+		grown := make([]Ledger, n)
+		copy(grown, c.perCPU)
+		c.perCPU = grown
+	}
+}
+
+// SetCPU selects the CPU subsequent charges are attributed to. Costs no
+// virtual cycles.
+func (c *Clock) SetCPU(cpu int) {
+	if cpu >= 0 {
+		c.EnsureCPUs(cpu + 1)
+		c.cpu = cpu
+	}
+}
+
+// CPU returns the currently selected CPU.
+func (c *Clock) CPU() int { return c.cpu }
+
+// SetContext stamps subsequent trace events with a process id and a
+// context word (by convention the in-flight syscall number, or 0).
+// Host-side bookkeeping only: costs no virtual cycles.
+func (c *Clock) SetContext(pid int32, ctx uint32) {
+	c.pid, c.ctx = pid, ctx
+}
+
+// Context returns the current trace context, for save/restore around
+// nested dispatch.
+func (c *Clock) Context() (pid int32, ctx uint32) { return c.pid, c.ctx }
+
+// AttachTracer directs one event per charge into t. Pass nil to detach;
+// a detached clock's charge path costs one nil check and nothing else.
+func (c *Clock) AttachTracer(t *Tracer) { c.tracer = t }
+
+// TracerAttached reports whether a tracer is receiving events.
+func (c *Clock) TracerAttached() bool { return c.tracer != nil }
 
 // Seconds converts a cycle count to seconds at the nominal frequency.
 func Seconds(cycles uint64) float64 { return float64(cycles) / Frequency }

@@ -158,7 +158,7 @@ func (c *CPU) SetTrapHandler(h func(*TrapFrame)) { c.trapHandler = h }
 // snapshots the register file into a TrapFrame, switches to supervisor
 // mode (loading the IST stack if configured), and calls the handler.
 func (c *CPU) Trap(kind TrapKind, info uint64) {
-	c.Clock.Advance(CostTrapEntry)
+	c.Clock.Charge(TagTrap, CostTrapEntry)
 	tf := &TrapFrame{Regs: c.Regs, Kind: kind, Info: info}
 	c.Regs.Priv = Supervisor
 	if c.ISTTarget != 0 {
@@ -173,14 +173,14 @@ func (c *CPU) Trap(kind TrapKind, info uint64) {
 // ReturnFromTrap simulates iret: it charges the exit cost and reloads
 // the register file from the given frame.
 func (c *CPU) ReturnFromTrap(tf *TrapFrame) {
-	c.Clock.Advance(CostTrapExit)
+	c.Clock.Charge(TagTrap, CostTrapExit)
 	c.Regs = tf.Regs
 }
 
 // LoadVirt performs a data load of size bytes at virtual address v at
 // the CPU's current privilege, charging the access cost.
 func (c *CPU) LoadVirt(v Virt, size int) (uint64, error) {
-	c.Clock.Advance(CostMemAccess)
+	c.Clock.Charge(TagMemAccess, CostMemAccess)
 	p, err := c.MMU.Translate(v, AccRead, c.Regs.Priv == User)
 	if err != nil {
 		return 0, err
@@ -190,7 +190,7 @@ func (c *CPU) LoadVirt(v Virt, size int) (uint64, error) {
 
 // StoreVirt performs a data store of size bytes at virtual address v.
 func (c *CPU) StoreVirt(v Virt, size int, val uint64) error {
-	c.Clock.Advance(CostMemAccess)
+	c.Clock.Charge(TagMemAccess, CostMemAccess)
 	p, err := c.MMU.Translate(v, AccWrite, c.Regs.Priv == User)
 	if err != nil {
 		return err
@@ -201,8 +201,8 @@ func (c *CPU) StoreVirt(v Virt, size int, val uint64) error {
 // CopyToVirt copies a byte block into the virtual address space,
 // page by page, charging block-copy costs.
 func (c *CPU) CopyToVirt(v Virt, b []byte) error {
-	c.Clock.Advance(CostMemAccess)
-	c.Clock.AdvanceBytes(len(b), CostBcopyPerByte)
+	c.Clock.Charge(TagMemAccess, CostMemAccess)
+	c.Clock.ChargeBytes(TagMemAccess, len(b), CostBcopyPerByte)
 	for len(b) > 0 {
 		n := int(PageSize - (v & (PageSize - 1)))
 		if n > len(b) {
@@ -223,8 +223,8 @@ func (c *CPU) CopyToVirt(v Virt, b []byte) error {
 
 // CopyFromVirt copies n bytes out of the virtual address space.
 func (c *CPU) CopyFromVirt(v Virt, n int) ([]byte, error) {
-	c.Clock.Advance(CostMemAccess)
-	c.Clock.AdvanceBytes(n, CostBcopyPerByte)
+	c.Clock.Charge(TagMemAccess, CostMemAccess)
+	c.Clock.ChargeBytes(TagMemAccess, n, CostBcopyPerByte)
 	out := make([]byte, n)
 	pos := 0
 	for n > 0 {

@@ -83,7 +83,7 @@ func (d *Disk) ReadBlock(blk int) ([]byte, error) {
 	if d.takeFailure() {
 		return nil, ErrDiskIO
 	}
-	d.clock.Advance(d.latencyCycles + d.perBlockCycles)
+	d.clock.Charge(TagIO, d.latencyCycles+d.perBlockCycles)
 	d.reads++
 	out := make([]byte, BlockSize)
 	if d.blocks[blk] != nil {
@@ -103,7 +103,7 @@ func (d *Disk) WriteBlock(blk int, b []byte) error {
 	if d.takeFailure() {
 		return ErrDiskIO
 	}
-	d.clock.Advance(d.latencyCycles + d.perBlockCycles)
+	d.clock.Charge(TagIO, d.latencyCycles+d.perBlockCycles)
 	d.writes++
 	buf := make([]byte, BlockSize)
 	copy(buf, b)

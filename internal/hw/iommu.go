@@ -91,7 +91,7 @@ func (d *DMAEngine) CopyFromFrame(f Frame) ([]byte, error) {
 	if !d.iommu.Allowed(f) {
 		return nil, &ErrIOMMU{F: f}
 	}
-	d.clock.Advance(CostPageZero) // a page-sized transfer
+	d.clock.Charge(TagIO, CostPageZero) // a page-sized transfer
 	b, err := d.mem.FrameBytes(f)
 	if err != nil {
 		return nil, err
@@ -106,7 +106,7 @@ func (d *DMAEngine) CopyToFrame(f Frame, b []byte) error {
 	if !d.iommu.Allowed(f) {
 		return &ErrIOMMU{F: f}
 	}
-	d.clock.Advance(CostPageZero)
+	d.clock.Charge(TagIO, CostPageZero)
 	dst, err := d.mem.FrameBytes(f)
 	if err != nil {
 		return err

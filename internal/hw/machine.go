@@ -138,6 +138,10 @@ func NewMachineWith(cfg MachineConfig, clock *Clock) *Machine {
 		m.CPUs[i] = c
 	}
 	mem.SetStaleCheck(m.staleTranslationCheck)
+	clock.EnsureCPUs(cfg.NumCPUs)
+	if t := DefaultTracer(); t != nil {
+		clock.AttachTracer(t)
+	}
 	return m
 }
 
@@ -155,6 +159,7 @@ func (m *Machine) SetCurrentCPU(id int) {
 		panic(fmt.Sprintf("hw: SetCurrentCPU(%d) with %d CPUs", id, len(m.CPUs)))
 	}
 	m.curCPU = id
+	m.Clock.SetCPU(id)
 }
 
 // Cur returns the currently selected CPU (the boot CPU by default).
@@ -179,7 +184,7 @@ func (m *Machine) SendIPI(to int, kind IPIKind, arg uint64) {
 	if to < 0 || to >= len(m.CPUs) || to == m.curCPU {
 		return
 	}
-	m.Clock.Advance(CostIPISend)
+	m.Clock.Charge(TagIPI, CostIPISend)
 	m.ipisSent++
 	c := m.CPUs[to]
 	c.ipi = append(c.ipi, IPI{From: m.curCPU, Kind: kind, Arg: arg})
@@ -199,7 +204,7 @@ func (m *Machine) DrainIPIs(id int) int {
 	}
 	c.ipi = c.ipi[:0]
 	for i := 0; i < n; i++ {
-		m.Clock.Advance(CostIPIDeliver)
+		m.Clock.Charge(TagIPI, CostIPIDeliver)
 		m.ipisDelivered++
 	}
 	return n
@@ -230,7 +235,7 @@ func (m *Machine) ShootdownFrame(f Frame) int {
 		// Synchronous send + remote handler + ack: the sender spins
 		// until the remote invlpg loop completes, so both sides' costs
 		// land on the shared timeline here.
-		m.Clock.Advance(CostIPISend + CostIPIDeliver)
+		m.Clock.Charge(TagIPI, CostIPISend+CostIPIDeliver)
 		m.ipisSent++
 		m.ipisDelivered++
 		c.MMU.FlushFrame(f)

@@ -436,7 +436,7 @@ func (m *Memory) ZeroFrame(f Frame) error {
 		m.notifyPT(f)
 	}
 	if m.clock != nil {
-		m.clock.Advance(CostPageZero)
+		m.clock.Charge(TagMemAccess, CostPageZero)
 	}
 	return nil
 }

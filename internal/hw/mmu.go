@@ -214,7 +214,7 @@ func (u *MMU) SetRoot(f Frame) {
 	u.root = f
 	u.FlushTLB()
 	if u.clock != nil {
-		u.clock.Advance(CostTLBFlush)
+		u.clock.Charge(TagTLB, CostTLBFlush)
 	}
 }
 
@@ -260,7 +260,7 @@ func (u *MMU) Translate(v Virt, acc Access, userMode bool) (Phys, error) {
 	off := Phys(v - page)
 	if te, ok := u.tlb[page]; ok {
 		if u.clock != nil {
-			u.clock.Advance(CostTLBHit)
+			u.clock.Charge(TagTLB, CostTLBHit)
 		}
 		if err := checkPerm(te.flags, acc, userMode, v); err != nil {
 			return 0, err
@@ -271,7 +271,7 @@ func (u *MMU) Translate(v Virt, acc Access, userMode bool) (Phys, error) {
 		return 0, &Fault{VA: v, Acc: acc, Reason: "no address space loaded"}
 	}
 	if u.clock != nil {
-		u.clock.Advance(CostPTWalk)
+		u.clock.Charge(TagTLB, CostPTWalk)
 	}
 	table := u.root
 	// Accumulate the AND of the user/write permissions along the walk,

@@ -62,7 +62,7 @@ func Connect(a, b *NIC) {
 // time. Oversized payloads are rejected by the caller (the kernel's
 // network stack segments to MTU).
 func (n *NIC) Send(p Packet) {
-	n.clock.Advance(n.latencyCycles + uint64(float64(len(p.Payload))*n.perByteCycles))
+	n.clock.Charge(TagIO, n.latencyCycles+uint64(float64(len(p.Payload))*n.perByteCycles))
 	n.bytesSent += uint64(len(p.Payload))
 	if n.peer == nil {
 		n.packetsDropped++

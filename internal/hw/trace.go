@@ -1,0 +1,144 @@
+package hw
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one tagged cycle charge: which mechanism (Tag), where
+// (CPU), on whose behalf (PID and a context word — by convention the
+// in-flight syscall number), and when (Start virtual cycle, Dur cycles).
+type TraceEvent struct {
+	Tag   Tag
+	CPU   int32
+	PID   int32
+	Ctx   uint32
+	Start uint64 // virtual cycle at which the charge began
+	Dur   uint64 // charge size in virtual cycles
+}
+
+// Tracer is a bounded ring buffer of TraceEvents fed by Clock.Charge.
+// The buffer is allocated once at construction; recording never
+// allocates, and when the buffer is full the oldest events are
+// overwritten (the tail of a run is usually the interesting part).
+// Recording is mutex-guarded so tracers are safe to share across the
+// goroutines of a parallel experiment sweep.
+//
+// Tracing costs zero *virtual* cycles by construction — the tracer
+// observes charges, it never makes them — and a detached tracer costs
+// the charge path a single nil check (asserted by the engine's
+// zero-allocation benchmark).
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []TraceEvent
+	next  int    // ring index of the next write
+	total uint64 // events ever recorded, including overwritten ones
+}
+
+// DefaultTraceCapacity is the ring size used by the CLI -trace flags.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer whose ring holds the most recent capacity
+// events. Capacity must be positive.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]TraceEvent, 0, capacity)}
+}
+
+func (t *Tracer) record(ev TraceEvent) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+		}
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded, including any that
+// have been overwritten in the ring.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events were overwritten because the ring
+// filled.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.ring))
+}
+
+// Events returns the retained events in recording order (oldest first).
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// WriteChromeTrace serializes the retained events in the Chrome
+// trace_event JSON format (load in chrome://tracing or Perfetto). Each
+// charge becomes a complete ("ph":"X") event: name = tag, pid = the
+// simulated process, tid = the simulated CPU, ts/dur in virtual
+// microseconds at the nominal Frequency; exact cycle values and the
+// syscall context ride in args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			"{\"name\":%q,\"ph\":\"X\",\"ts\":%.4f,\"dur\":%.4f,\"pid\":%d,\"tid\":%d,"+
+				"\"args\":{\"cycles\":%d,\"start_cycle\":%d,\"ctx\":%d}}%s\n",
+			ev.Tag.String(), Micros(ev.Start), Micros(ev.Dur), ev.PID, ev.CPU,
+			ev.Dur, ev.Start, ev.Ctx, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// defaultTracer is attached to every subsequently constructed machine's
+// clock. It exists for the CLI -trace flags: vgbench boots its systems
+// deep inside the experiments package, so the tracer has to travel via
+// package state rather than a parameter thread.
+var (
+	defaultTracerMu sync.Mutex
+	defaultTracer   *Tracer
+)
+
+// SetDefaultTracer installs (or, with nil, removes) the tracer that new
+// machines attach at construction. Machines already built are
+// unaffected.
+func SetDefaultTracer(t *Tracer) {
+	defaultTracerMu.Lock()
+	defaultTracer = t
+	defaultTracerMu.Unlock()
+}
+
+// DefaultTracer returns the tracer new machines will attach, or nil.
+func DefaultTracer() *Tracer {
+	defaultTracerMu.Lock()
+	defer defaultTracerMu.Unlock()
+	return defaultTracer
+}

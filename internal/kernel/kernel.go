@@ -117,8 +117,8 @@ type Kernel struct {
 	lastCPU  int       // round-robin cursor over cpus
 	cur      *Proc
 	syscalls map[uint64]SyscallHandler
-	modules    []*Module
-	coreMod    *Module
+	modules  []*Module
+	coreMod  *Module
 
 	// programs is the installed-binary registry (what the file system
 	// + loader would provide): name -> signed binary + entry function.
@@ -154,6 +154,8 @@ type Kernel struct {
 	intrinsics map[string]IntrinsicHandler
 
 	stats Stats
+	// sysProf is the per-syscall cycle histogram (see profile.go).
+	sysProf map[uint64]*SyscallCycles
 }
 
 // EngineKind selects how the kernel executes module IR.
@@ -338,17 +340,26 @@ func (k *Kernel) trapEntry(ic core.IContext, kind hw.TrapKind, info uint64) {
 	switch kind {
 	case hw.TrapSyscall:
 		k.stats.Syscalls++
+		num := ic.SyscallNum()
+		// Stamp trace events inside the dispatch with the syscall
+		// context, and profile its cycle cost. Both are host-side
+		// bookkeeping: no cycles are charged for them.
+		ppid, pctx := k.M.Clock.Context()
+		k.M.Clock.SetContext(int32(p.PID), uint32(num))
+		start := k.M.Clock.Cycles()
 		// Syscall dispatch is an indirect call through the table, and
 		// the entry path touches the thread, credential, and syscall-
 		// args structures.
 		k.HAL.OnIndirectCall(1)
 		k.HAL.KAccess(workSyscallDispatch)
-		h, ok := k.syscalls[ic.SyscallNum()]
+		h, ok := k.syscalls[num]
 		if !ok {
 			ic.SetRet(errno(ENOSYS))
 		} else {
 			ic.SetRet(h(k, p, ic))
 		}
+		k.recordSyscall(num, k.M.Clock.Cycles()-start)
+		k.M.Clock.SetContext(ppid, pctx)
 	case hw.TrapPageFault:
 		k.stats.PageFaults++
 		k.handleFault(p, hw.Virt(info), ic)

@@ -89,7 +89,7 @@ func (k *Kernel) dupAddressSpace(parent, child *Proc) error {
 			return err
 		}
 		copy(dst, src)
-		k.M.Clock.AdvanceBytes(hw.PageSize, hw.CostBcopyPerByte)
+		k.M.Clock.ChargeBytes(hw.TagMemAccess, hw.PageSize, hw.CostBcopyPerByte)
 	}
 	return nil
 }
@@ -231,7 +231,7 @@ func (k *Kernel) resolveFault(p *Proc, va hw.Virt) bool {
 			return false
 		}
 		copy(dst, buf[:n])
-		k.M.Clock.AdvanceBytes(n, hw.CostBcopyPerByte)
+		k.M.Clock.ChargeBytes(hw.TagMemAccess, n, hw.CostBcopyPerByte)
 	}
 	return true
 }

@@ -96,7 +96,7 @@ func (ns *NetStack) send(typ byte, src, dst uint16, data []byte, toLocal bool) {
 	pl[3], pl[4] = byte(dst), byte(dst>>8)
 	copy(pl[netHdrSize:], data)
 	if toLocal {
-		ns.k.M.Clock.Advance(loopbackCycles)
+		ns.k.M.Clock.Charge(hw.TagIO, loopbackCycles)
 		ns.handlePacket(dst, pl, true)
 		return
 	}

@@ -513,4 +513,13 @@ func (p *Proc) Store(va uint64, size int, v uint64) {
 }
 
 // Compute charges n cycles of pure user computation.
-func (p *Proc) Compute(cycles uint64) { p.k.M.Clock.Advance(cycles) }
+func (p *Proc) Compute(cycles uint64) {
+	p.k.M.Clock.Charge(hw.TagCompute, cycles)
+}
+
+// ComputeCrypt charges n cycles of user-level cryptography (the
+// ghosting libc's AES-GCM work), so breakdowns separate crypto from
+// plain computation.
+func (p *Proc) ComputeCrypt(cycles uint64) {
+	p.k.M.Clock.Charge(hw.TagCrypt, cycles)
+}

@@ -125,16 +125,18 @@ func (k *Kernel) dispatchOn(c *cpuRun, p *Proc) {
 	c.lastPID = p.PID
 	k.stats.ContextSwitch++
 	k.HAL.KAccess(workSched)
-	k.M.Clock.Advance(hw.CostContextSwitch)
+	k.M.Clock.Charge(hw.TagSched, hw.CostContextSwitch)
 	k.HAL.SetCurrentThread(p.tid)
 	if err := k.HAL.LoadAddressSpace(p.root); err != nil {
 		panic(fmt.Sprintf("kernel: context switch to pid %d: %v", p.PID, err))
 	}
 	k.M.Cur().Regs.Priv = hw.User
 	k.cur = p
+	k.M.Clock.SetContext(int32(p.PID), 0)
 	p.runCh <- struct{}{}
 	<-p.yldCh
 	k.cur = nil
+	k.M.Clock.SetContext(0, 0)
 	c.busy += k.M.Clock.Cycles() - start
 }
 

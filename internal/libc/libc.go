@@ -291,7 +291,7 @@ func (l *Libc) SecureWriteFile(path string, src GPtr, n int) error {
 		return ErrNoKey
 	}
 	plain := l.ReadGhost(src, n)
-	l.P.Compute(uint64(len(plain)) * hw.CostCryptPerByte)
+	l.P.ComputeCrypt(uint64(len(plain)) * hw.CostCryptPerByte)
 	blob, err := vgcrypt.Seal(l.Key(), l.randomNonce(), plain)
 	if err != nil {
 		return err
@@ -336,7 +336,7 @@ func (l *Libc) SecureReadFile(path string) (GPtr, int, error) {
 		}
 		blob = append(blob, l.P.Read(buf, int(ret))...)
 	}
-	l.P.Compute(uint64(len(blob)) * hw.CostCryptPerByte)
+	l.P.ComputeCrypt(uint64(len(blob)) * hw.CostCryptPerByte)
 	plain, err := vgcrypt.Open(l.Key(), blob)
 	if err != nil {
 		return 0, 0, fmt.Errorf("libc: %s: %w", path, err)

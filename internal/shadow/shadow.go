@@ -61,7 +61,7 @@ func (h *HAL) Mode() core.Mode { return core.ModeShadow }
 // hypervisor interposes on every kernel entry and exit to protect
 // application register state and shadowed pages).
 func (h *HAL) Syscall(num uint64, args [6]uint64) uint64 {
-	h.m.Clock.Advance(2 * CostVMExit)
+	h.m.Clock.Charge(hw.TagShadow, 2*CostVMExit)
 	return h.NativeHAL.Syscall(num, args)
 }
 
@@ -75,9 +75,9 @@ const CostShadowFault = 620_000
 // Trap pays the same crossings, and page faults additionally pay the
 // shadow-paging repair path.
 func (h *HAL) Trap(kind hw.TrapKind, info uint64) {
-	h.m.Clock.Advance(2 * CostVMExit)
+	h.m.Clock.Charge(hw.TagShadow, 2*CostVMExit)
 	if kind == hw.TrapPageFault {
-		h.m.Clock.Advance(CostShadowFault)
+		h.m.Clock.Charge(hw.TagShadow, CostShadowFault)
 	}
 	h.NativeHAL.Trap(kind, info)
 }
@@ -85,20 +85,21 @@ func (h *HAL) Trap(kind hw.TrapKind, info uint64) {
 // MapPage is a paravirtual hypercall: the hypervisor validates the
 // update against its shadow page tables.
 func (h *HAL) MapPage(root hw.Frame, va hw.Virt, f hw.Frame, flags uint64) error {
-	h.m.Clock.Advance(CostMMUHypercall + CostShadowPage)
+	h.m.Clock.Charge(hw.TagShadow, CostMMUHypercall)
+	h.m.Clock.Charge(hw.TagCrypt, CostShadowPage)
 	return h.NativeHAL.MapPage(root, va, f, flags)
 }
 
 // UnmapPage is also hypervisor-mediated, but teardown unmaps are
 // batched by the paravirt interface, amortizing the crossing.
 func (h *HAL) UnmapPage(root hw.Frame, va hw.Virt) error {
-	h.m.Clock.Advance(CostMMUHypercall / 8)
+	h.m.Clock.Charge(hw.TagShadow, CostMMUHypercall/8)
 	return h.NativeHAL.UnmapPage(root, va)
 }
 
 // LoadAddressSpace switches shadow page tables in the hypervisor.
 func (h *HAL) LoadAddressSpace(root hw.Frame) error {
-	h.m.Clock.Advance(2 * CostMMUHypercall)
+	h.m.Clock.Charge(hw.TagShadow, 2*CostMMUHypercall)
 	return h.NativeHAL.LoadAddressSpace(root)
 }
 
@@ -107,7 +108,7 @@ func (h *HAL) LoadAddressSpace(root hw.Frame) error {
 // ciphertext.
 func (h *HAL) Copyin(root hw.Frame, va hw.Virt, n int) ([]byte, error) {
 	pages := n/hw.PageSize + 1
-	h.m.Clock.Advance(uint64(pages) * CostShadowPage)
+	h.m.Clock.Charge(hw.TagCrypt, uint64(pages)*CostShadowPage)
 	b, err := h.NativeHAL.Copyin(root, va, n)
 	if err != nil {
 		return nil, err
@@ -123,7 +124,7 @@ func (h *HAL) Copyin(root hw.Frame, va hw.Virt, n int) ([]byte, error) {
 // Copyout re-encrypts and re-hashes each page the kernel writes.
 func (h *HAL) Copyout(root hw.Frame, va hw.Virt, b []byte) error {
 	pages := len(b)/hw.PageSize + 1
-	h.m.Clock.Advance(uint64(pages) * CostShadowPage)
+	h.m.Clock.Charge(hw.TagCrypt, uint64(pages)*CostShadowPage)
 	return h.NativeHAL.Copyout(root, va, b)
 }
 
@@ -135,7 +136,7 @@ func (h *HAL) Copyout(root hw.Frame, va hw.Virt, b []byte) error {
 // detected"; reads see the encrypted image).
 func (h *HAL) KLoad(root hw.Frame, va hw.Virt, size int) (uint64, error) {
 	if hw.IsUser(va) || hw.IsGhost(va) {
-		h.m.Clock.Advance(CostShadowPage)
+		h.m.Clock.Charge(hw.TagCrypt, CostShadowPage)
 	}
 	v, err := h.NativeHAL.KLoad(root, va, size)
 	if err != nil {
@@ -161,7 +162,7 @@ func (h *HAL) pageKeystream(va hw.Virt) uint64 {
 // KStore mirrors KLoad.
 func (h *HAL) KStore(root hw.Frame, va hw.Virt, size int, v uint64) error {
 	if hw.IsUser(va) || hw.IsGhost(va) {
-		h.m.Clock.Advance(CostShadowPage)
+		h.m.Clock.Charge(hw.TagCrypt, CostShadowPage)
 	}
 	return h.NativeHAL.KStore(root, va, size, v)
 }
@@ -174,7 +175,7 @@ const CostRegionPerPage = 6000
 
 // OnVMRegion charges per-page region bookkeeping.
 func (h *HAL) OnVMRegion(npages int) {
-	h.m.Clock.Advance(uint64(npages) * CostRegionPerPage)
+	h.m.Clock.Charge(hw.TagShadow, uint64(npages)*CostRegionPerPage)
 }
 
 // CostShadowASCreate is the construction of a fresh shadow page-table
@@ -183,6 +184,6 @@ const CostShadowASCreate = 480_000
 
 // NewAddressSpace pays shadow-hierarchy construction.
 func (h *HAL) NewAddressSpace() (hw.Frame, error) {
-	h.m.Clock.Advance(CostShadowASCreate)
+	h.m.Clock.Charge(hw.TagShadow, CostShadowASCreate)
 	return h.NativeHAL.NewAddressSpace()
 }

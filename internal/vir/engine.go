@@ -123,13 +123,15 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 			// deterministic charges at once. Everything in the segment
 			// is certain to execute, so the batch is exact — unless
 			// the step budget expires inside it, which falls back to
-			// per-instruction accounting to stay bit-identical.
+			// per-instruction accounting to stay bit-identical. The
+			// batch was merged per tag at link time, so attribution
+			// costs one Charge per tag present, not per instruction.
 			e.steps += n
 			if e.steps > e.MaxSteps {
 				return 0, e.stepLimit(clk, regs, code, pc, n)
 			}
-			if in.segCharge != 0 {
-				clk.Advance(in.segCharge)
+			for _, tc := range in.segCharges {
+				clk.Charge(tc.tag, tc.n)
 			}
 		}
 		switch in.op {
@@ -303,7 +305,7 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 				return 0, fmt.Errorf("vir: funcaddr of unknown symbol %q", in.sym)
 			}
 			regs[in.dst] = addr
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 
 		case opFellOff:
 			return 0, fmt.Errorf("vir: fell off block %s/%s", lf.fn.Name, in.sym)
@@ -319,12 +321,15 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 // segment: the reference interpreter executes (and charges) each
 // instruction until the step counter crosses MaxSteps, so replay the
 // remaining budget per instruction. Only non-final segment
-// instructions can be involved, and those are pure by construction.
+// instructions can be involved, and those are pure by construction
+// (single-tag charges).
 func (e *Engine) stepLimit(clk *hw.Clock, regs []uint64, code []linkedInstr, pc, segLen int) error {
 	nExec := e.MaxSteps - (e.steps - segLen)
 	for i := 0; i < nExec; i++ {
 		in := &code[pc+i]
-		clk.Advance(in.charge)
+		for _, tc := range in.charges {
+			clk.Charge(tc.tag, tc.n)
+		}
 		pureEval(regs, in)
 	}
 	return ErrStepLimit

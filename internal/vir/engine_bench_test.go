@@ -47,6 +47,37 @@ func BenchmarkEngineCallLoop(b *testing.B) {
 	}
 }
 
+// TestEngineTracingDisabledZeroAlloc asserts the cost of the tagged
+// accounting layer on the engine hot path: with no tracer attached,
+// executing pre-linked code — including every per-segment tagged charge
+// — performs zero host allocations per call. This is the "tracing
+// disabled is free" guarantee: the only disabled-path cost is the nil
+// check inside Clock.Charge.
+func TestEngineTracingDisabledZeroAlloc(t *testing.T) {
+	env := newMemEnv()
+	fn := benchWorkload(env)
+	eng := NewEngine()
+	// Warm up: first call pays one-time linking and frame-pool growth.
+	if _, err := eng.Call(env, fn, 200); err != nil {
+		t.Fatal(err)
+	}
+	if env.clock.TracerAttached() {
+		t.Fatal("tracer unexpectedly attached")
+	}
+	before := env.clock.Cycles()
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := eng.Call(env, fn, 200); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if env.clock.Cycles() == before {
+		t.Fatal("workload charged no cycles; hot path not exercised")
+	}
+	if allocs != 0 {
+		t.Errorf("engine hot path allocates %v objects/call with tracing disabled; want 0", allocs)
+	}
+}
+
 // BenchmarkInterpCallLoop is the reference interpreter on the same
 // workload.
 func BenchmarkInterpCallLoop(b *testing.B) {

@@ -127,59 +127,59 @@ func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
 		switch in.Op {
 		case OpConst:
 			fr.regs[in.Dst] = in.Imm
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpMov:
 			fr.regs[in.Dst] = fr.val(in.A)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpAdd:
 			fr.regs[in.Dst] = fr.val(in.A) + fr.val(in.B)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpSub:
 			fr.regs[in.Dst] = fr.val(in.A) - fr.val(in.B)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpMul:
 			fr.regs[in.Dst] = fr.val(in.A) * fr.val(in.B)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpAnd:
 			fr.regs[in.Dst] = fr.val(in.A) & fr.val(in.B)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpOr:
 			fr.regs[in.Dst] = fr.val(in.A) | fr.val(in.B)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpXor:
 			fr.regs[in.Dst] = fr.val(in.A) ^ fr.val(in.B)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpShl:
 			fr.regs[in.Dst] = fr.val(in.A) << (fr.val(in.B) & 63)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpShr:
 			fr.regs[in.Dst] = fr.val(in.A) >> (fr.val(in.B) & 63)
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpCmpEQ:
 			fr.regs[in.Dst] = b2u(fr.val(in.A) == fr.val(in.B))
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpCmpNE:
 			fr.regs[in.Dst] = b2u(fr.val(in.A) != fr.val(in.B))
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpCmpLT:
 			fr.regs[in.Dst] = b2u(fr.val(in.A) < fr.val(in.B))
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpCmpGE:
 			fr.regs[in.Dst] = b2u(fr.val(in.A) >= fr.val(in.B))
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 		case OpSelect:
 			if fr.val(in.A) != 0 {
 				fr.regs[in.Dst] = fr.val(in.B)
 			} else {
 				fr.regs[in.Dst] = fr.val(in.C)
 			}
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 
 		case OpMaskGhost:
 			// The sandbox sequence the compiler inserted: compare
 			// against the partition bases, OR in the escape bit /
 			// zero SVA-internal addresses.
-			clk.Advance(hw.CostMaskCheck)
+			clk.Charge(hw.TagSandbox, hw.CostMaskCheck)
 			fr.regs[in.Dst] = MaskAddress(fr.val(in.A))
 
 		case OpLoad:
@@ -198,12 +198,12 @@ func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
 			}
 
 		case OpBr:
-			clk.Advance(hw.CostBranch)
+			clk.Charge(hw.TagEngine, hw.CostBranch)
 			blk = fn.FindBlock(in.Blk1)
 			pc = 0
 			continue
 		case OpCondBr:
-			clk.Advance(hw.CostBranch)
+			clk.Charge(hw.TagEngine, hw.CostBranch)
 			if fr.val(in.A) != 0 {
 				blk = fn.FindBlock(in.Blk1)
 			} else {
@@ -213,7 +213,7 @@ func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
 			continue
 
 		case OpCall:
-			clk.Advance(hw.CostCall)
+			clk.Charge(hw.TagEngine, hw.CostCall)
 			argv := make([]uint64, len(in.Args))
 			for i, a := range in.Args {
 				argv[i] = fr.val(a)
@@ -235,10 +235,10 @@ func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
 			fr.regs[in.Dst] = ret
 
 		case OpCallInd, OpCFICallInd:
-			clk.Advance(hw.CostCall)
+			clk.Charge(hw.TagEngine, hw.CostCall)
 			target := fr.val(in.A)
 			if in.Op == OpCFICallInd {
-				clk.Advance(hw.CostCFICheck)
+				clk.Charge(hw.TagCFI, hw.CostCFICheck)
 				if err := ip.cfiCheckTarget(fn.Name, target); err != nil {
 					return 0, err
 				}
@@ -258,9 +258,9 @@ func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
 			fr.regs[in.Dst] = ret
 
 		case OpRet, OpCFIRet:
-			clk.Advance(hw.CostCall)
+			clk.Charge(hw.TagEngine, hw.CostCall)
 			if in.Op == OpCFIRet {
-				clk.Advance(hw.CostCFICheck)
+				clk.Charge(hw.TagCFI, hw.CostCFICheck)
 			}
 			if fr.overridden {
 				// The return address was smashed. An instrumented
@@ -308,10 +308,10 @@ func (ip *Interp) exec(fn *Function, args []uint64, depth int) (uint64, error) {
 				return 0, fmt.Errorf("vir: funcaddr of unknown symbol %q", in.Sym)
 			}
 			fr.regs[in.Dst] = addr
-			clk.Advance(hw.CostALU)
+			clk.Charge(hw.TagEngine, hw.CostALU)
 
 		case OpCFILabel:
-			clk.Advance(hw.CostCFILabel)
+			clk.Charge(hw.TagCFI, hw.CostCFILabel)
 
 		default:
 			return 0, fmt.Errorf("vir: unimplemented opcode %v", in.Op)

@@ -17,7 +17,9 @@ import (
 //   - funcaddr symbols become immediates where the code space already
 //     binds them,
 //   - the deterministic clock charges of each straight-line segment are
-//     summed at link time and applied with a single Clock.Advance.
+//     summed at link time — per cost tag, so the ledger attribution
+//     survives batching — and applied with one Clock.Charge per tag
+//     present in the segment (at most a handful).
 //
 // Lowered code must stay *observably identical* to the reference
 // interpreter: same return values, same errors (strings included), and
@@ -80,15 +82,23 @@ type linkedInstr struct {
 	t1, t2 int       // lowered Blk1/Blk2 (indices into linkedFn.code)
 	callee *linkedFn // pre-resolved direct-call target
 
-	// charge is this instruction's own deterministic pre-charge (the
+	// charges is this instruction's own deterministic pre-charge (the
 	// cycles the reference interpreter advances unconditionally before
-	// the instruction can fail or call out). Used only by the
-	// step-limit slow path.
-	charge uint64
+	// the instruction can fail or call out), broken down by cost tag.
+	// It aliases a shared per-opcode slice (instrCharges) — never
+	// mutate it. Used only by the step-limit slow path.
+	charges []tagCharge
 	// segLen > 0 marks a segment head; it counts the instructions in
-	// the segment and segCharge sums their charges.
-	segLen    int
-	segCharge uint64
+	// the segment and segCharges sums their charges per tag (built at
+	// link time, so the hot loop applies the batch without un-batching).
+	segLen     int
+	segCharges []tagCharge
+}
+
+// tagCharge is one (tag, cycles) component of a deterministic charge.
+type tagCharge struct {
+	tag hw.Tag
+	n   uint64
 }
 
 // linkedFn is a function lowered to a flat code array.
@@ -97,29 +107,44 @@ type linkedFn struct {
 	code []linkedInstr
 }
 
-// instrCharge returns the deterministic pre-charge of a lowered
+// Shared per-opcode charge slices: every linkedInstr of a given shape
+// aliases the same slice, so lowering allocates nothing per instruction
+// and the hot paths never build charge lists at run time.
+var (
+	chargeALU     = []tagCharge{{hw.TagEngine, hw.CostALU}}
+	chargeMask    = []tagCharge{{hw.TagSandbox, hw.CostMaskCheck}}
+	chargeLabel   = []tagCharge{{hw.TagCFI, hw.CostCFILabel}}
+	chargeBranch  = []tagCharge{{hw.TagEngine, hw.CostBranch}}
+	chargeCall    = []tagCharge{{hw.TagEngine, hw.CostCall}}
+	chargeCFICall = []tagCharge{{hw.TagEngine, hw.CostCall}, {hw.TagCFI, hw.CostCFICheck}}
+)
+
+// instrCharges returns the deterministic pre-charge of a lowered
 // instruction: the cycles the reference interpreter advances before
-// the instruction can observably fail or enter the Env. Instructions
-// whose charges are conditional (funcaddr resolved at run time) or
-// internal to the Env (loads, stores, port I/O) charge zero here.
-func instrCharge(op Opcode) uint64 {
+// the instruction can observably fail or enter the Env, per cost tag.
+// Instructions whose charges are conditional (funcaddr resolved at run
+// time) or internal to the Env (loads, stores, port I/O) charge zero
+// here. Composite charges (CFI call/return: base call + label check)
+// list one component per tag, in the order the reference interpreter
+// charges them.
+func instrCharges(op Opcode) []tagCharge {
 	switch op {
 	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
 		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
 		opFuncAddrImm:
-		return hw.CostALU
+		return chargeALU
 	case OpMaskGhost:
-		return hw.CostMaskCheck
+		return chargeMask
 	case OpCFILabel:
-		return hw.CostCFILabel
+		return chargeLabel
 	case OpBr, OpCondBr:
-		return hw.CostBranch
+		return chargeBranch
 	case OpCall, opCallIntrinsic, opCorruptReturn, OpCallInd, OpRet:
-		return hw.CostCall
+		return chargeCall
 	case OpCFICallInd, OpCFIRet:
-		return hw.CostCall + hw.CostCFICheck
+		return chargeCFICall
 	}
-	return 0
+	return nil
 }
 
 // endsSegment reports whether a lowered instruction must terminate its
@@ -190,12 +215,27 @@ func (e *Engine) link(env Env, fn *Function) *linkedFn {
 			head = i
 		}
 		lf.code[head].segLen++
-		lf.code[head].segCharge += lf.code[i].charge
+		for _, tc := range lf.code[i].charges {
+			lf.code[head].segCharges = addTagCharge(lf.code[head].segCharges, tc)
+		}
 		if endsSegment(lf.code[i].op) {
 			head = i + 1
 		}
 	}
 	return lf
+}
+
+// addTagCharge merges one charge component into a segment's per-tag
+// batch, keeping first-occurrence order (deterministic, and matching
+// the order charges first appear in the segment).
+func addTagCharge(batch []tagCharge, tc tagCharge) []tagCharge {
+	for i := range batch {
+		if batch[i].tag == tc.tag {
+			batch[i].n += tc.n
+			return batch
+		}
+	}
+	return append(batch, tc)
 }
 
 // lower translates one instruction.
@@ -241,7 +281,7 @@ func (e *Engine) lower(env Env, fn *Function, b *Block, in *Instr, starts map[st
 		li.op = opUnimpl
 		li.imm = uint64(in.Op)
 	}
-	li.charge = instrCharge(li.op)
+	li.charges = instrCharges(li.op)
 	return li
 }
 
