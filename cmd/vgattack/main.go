@@ -11,10 +11,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/kernel"
 )
 
 func main() {
 	cpus := flag.Int("cpus", 2, "CPUs for the SMP attack vectors (stale TLB needs >= 2)")
+	hostpar := flag.Bool("hostpar", false, "run epoch user phases on concurrent host goroutines (needs -cpus > 1; identical results, less wall-clock)")
 	only := flag.String("only", "", "comma-separated attack vectors to run (default all): "+
 		strings.Join(experiments.SecurityVectorNames(), "|"))
 	flag.Parse()
@@ -22,6 +24,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vgattack: -cpus must be at least 2 (the stale-TLB vector needs a remote CPU)")
 		os.Exit(2)
 	}
+	if *hostpar && *cpus <= 1 {
+		fmt.Fprintln(os.Stderr, "vgattack: -hostpar needs multi-CPU machines: pass -cpus > 1")
+		os.Exit(2)
+	}
+	kernel.SetDefaultHostParallel(*hostpar)
 	var keys []string
 	for _, k := range strings.Split(*only, ",") {
 		if k = strings.TrimSpace(k); k != "" {

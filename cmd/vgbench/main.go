@@ -28,6 +28,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment: "+strings.Join(experimentNames, "|"))
 	cpus := flag.Int("cpus", 8, "top of the SMP sweep for the cpu-scaling experiment (1/2/4/8 up to this)")
 	parallel := flag.Bool("parallel", false, "fan independent measurements out over host goroutines (identical results, less wall-clock)")
+	hostpar := flag.Bool("hostpar", false, "run epoch user phases on concurrent host goroutines (multi-CPU machines; identical results, less wall-clock)")
 	csvDir := flag.String("csv", "", "also write machine-readable results to this directory")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<date>.json with overheads, host ns, and host allocs per experiment")
 	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution under Table 2/3/4")
@@ -42,6 +43,11 @@ func main() {
 			*only, strings.Join(experimentNames, ", "))
 		os.Exit(2)
 	}
+	if *hostpar && *cpus <= 1 {
+		fmt.Fprintln(os.Stderr, "-hostpar needs multi-CPU machines: pass -cpus > 1")
+		os.Exit(2)
+	}
+	kernel.SetDefaultHostParallel(*hostpar)
 
 	eng, err := kernel.ParseEngine(*engineFlag)
 	if err != nil {
@@ -93,6 +99,7 @@ func main() {
 		Date:          time.Now().Format("2006-01-02"),
 		Scale:         scaleName,
 		NumCPUs:       *cpus,
+		HostCPUs:      runtime.NumCPU(),
 	}
 	// timed runs one experiment and captures its host cost: wall clock
 	// plus allocation count/bytes (MemStats deltas, so they include
@@ -110,7 +117,7 @@ func main() {
 		report.Entries = append(report.Entries, experiments.BenchEntry{
 			Name: name, HostNs: ns,
 			HostAllocs: allocs, HostAllocBytes: allocBytes,
-			Metrics: metrics,
+			Metrics: metrics, HostParallel: *hostpar,
 		})
 		return &report.Entries[len(report.Entries)-1]
 	}
@@ -236,11 +243,25 @@ func main() {
 				counts = append(counts, n)
 			}
 		}
-		var pts []experiments.CPUPoint
-		ns, allocs, ab := timed(func() { pts = experiments.CPUScaling(sc, counts) })
+		// The sweep always runs both scheduling modes: CPUScalingCompare
+		// panics if any virtual number differs between them, so every
+		// vgbench run re-proves the host-parallel determinism contract
+		// while producing the host-speedup numbers.
+		var cmp []experiments.CPUComparePoint
+		ns, allocs, ab := timed(func() { cmp = experiments.CPUScalingCompare(sc, counts) })
+		pts := make([]experiments.CPUPoint, len(cmp))
+		for i, c := range cmp {
+			if *hostpar {
+				pts[i] = c.Parallel
+			} else {
+				pts[i] = c.Serial
+			}
+		}
 		fmt.Println(experiments.FormatCPUScaling(pts))
+		fmt.Println(experiments.FormatHostParallel(cmp))
 		if *csvDir != "" {
 			export(experiments.ExportCPUScaling(*csvDir, pts))
+			export(experiments.ExportHostParallel(*csvDir, cmp))
 		}
 		metrics := make(map[string]float64)
 		for _, p := range pts {
@@ -248,6 +269,9 @@ func main() {
 			for c, u := range p.Utilization {
 				metrics[fmt.Sprintf("util_%dcpu_cpu%d", p.NumCPUs, c)] = u
 			}
+		}
+		for _, c := range cmp {
+			metrics[fmt.Sprintf("host_speedup_%dcpu", c.Serial.NumCPUs)] = c.HostSpeedup()
 		}
 		record("cpu_scaling_ghost_httpd", ns, allocs, ab, metrics)
 	}

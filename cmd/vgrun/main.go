@@ -25,10 +25,17 @@ func main() {
 	app := flag.String("app", "hello", "workload: hello|keygen|postmark|lmbench")
 	n := flag.Int("n", 2000, "transaction/iteration count")
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
+	hostpar := flag.Bool("hostpar", false, "run epoch user phases on concurrent host goroutines (needs -cpus > 1; identical results, less wall-clock)")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution and the per-syscall profile")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of tagged charges")
 	flag.Parse()
+
+	if *hostpar && *cpus <= 1 {
+		fmt.Fprintln(os.Stderr, "-hostpar needs multi-CPU machines: pass -cpus > 1")
+		os.Exit(2)
+	}
+	kernel.SetDefaultHostParallel(*hostpar)
 
 	eng, err := kernel.ParseEngine(*engineFlag)
 	if err != nil {

@@ -3,19 +3,30 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/libc"
+	"repro/internal/vgcrypt"
 )
 
 // This file is the SMP scaling experiment: the ghost-webserver workload
-// (request loop reading file data into ghost memory) run on machines
-// with growing CPU counts. Virtual parallelism is modeled by per-CPU
-// busy-cycle attribution (see internal/kernel/sched.go): the makespan
-// is the busiest CPU's virtual time, so spreading the same work over
-// more CPUs raises throughput.
+// run on machines with growing CPU counts. Each worker is a content-
+// cache server: it loads the site body into ghost memory once, then per
+// request reads the cached body, seals it with the application key
+// (AES-GCM, deterministic per-request nonces), and writes the sealed
+// response back to ghost memory — the OS never sees request plaintext.
+//
+// Virtual parallelism is modeled by per-CPU busy-cycle attribution
+// (internal/kernel/epoch.go): the makespan is the busiest CPU's virtual
+// time, so spreading the same work over more CPUs raises throughput.
+// Host parallelism is real: with Kernel.SetHostParallel the epoch
+// scheduler runs the per-request user work (the AES sealing above all)
+// on concurrent host goroutines, with bit-identical virtual results —
+// CPUPoint.Fingerprint digests every deterministic output so tests and
+// CPUScalingCompare can assert the equivalence.
 
 // CPUCounts is the machine-size sweep.
 var CPUCounts = []int{1, 2, 4, 8}
@@ -24,25 +35,50 @@ var CPUCounts = []int{1, 2, 4, 8}
 // of the sweep each CPU runs exactly one worker.
 const scalingWorkers = 8
 
+// scalingResponse is the response-body size each request seals. The
+// AES-GCM work on this much data is the dominant *host* cost of a
+// request, which is exactly the work the host-parallel user phases
+// spread across cores.
+const scalingResponse = 32 * 1024
+
 // CPUPoint is one machine size's result.
 type CPUPoint struct {
 	NumCPUs     int
 	Requests    int       // total requests served
 	MakespanSec float64   // busiest CPU's virtual seconds
 	ReqPerSec   float64   // Requests / MakespanSec
-	Speedup     float64   // vs the 1-CPU point
+	Speedup     float64   // vs the 1-CPU point (virtual)
 	Utilization []float64 // per-CPU busy / makespan
+
+	// HostSec is the host wall-clock the run took; HostParallel records
+	// whether epoch user phases ran on concurrent host goroutines.
+	// These are simulator-efficiency numbers: they vary run to run and
+	// are never part of the deterministic surface.
+	HostSec      float64
+	HostParallel bool
+
+	// Fingerprint digests every deterministic virtual output of the run
+	// (cycle total, machine and per-CPU ledgers, per-CPU busy counters,
+	// kernel stats, IPI/shootdown counts, request count). Serial and
+	// host-parallel runs of the same point must produce identical
+	// fingerprints — the equivalence tests and CPUScalingCompare pin it.
+	Fingerprint string
 }
 
 // CPUScaling measures ghost-webserver throughput on Virtual Ghost at
-// each CPU count in counts (nil = CPUCounts).
+// each CPU count in counts (nil = CPUCounts). Host parallelism follows
+// the kernel package default (vgbench/vgrun -hostpar).
 func CPUScaling(sc Scale, counts []int) []CPUPoint {
+	return cpuScaling(sc, counts, kernel.DefaultHostParallel())
+}
+
+func cpuScaling(sc Scale, counts []int, hostPar bool) []CPUPoint {
 	if counts == nil {
 		counts = CPUCounts
 	}
 	pts := make([]CPUPoint, 0, len(counts))
 	for _, n := range counts {
-		pts = append(pts, ghostServerThroughput(n, sc.HTTPRequests))
+		pts = append(pts, ghostServerThroughput(n, sc.HTTPRequests, hostPar))
 	}
 	for i := range pts {
 		if pts[0].ReqPerSec > 0 {
@@ -52,26 +88,78 @@ func CPUScaling(sc Scale, counts []int) []CPUPoint {
 	return pts
 }
 
+// CPUComparePoint pairs a serial and a host-parallel run of one sweep
+// point, for the determinism check and the host-speedup report.
+type CPUComparePoint struct {
+	Serial   CPUPoint
+	Parallel CPUPoint
+}
+
+// Match reports whether the two runs produced bit-identical virtual
+// results.
+func (c CPUComparePoint) Match() bool {
+	return c.Serial.Fingerprint != "" && c.Serial.Fingerprint == c.Parallel.Fingerprint
+}
+
+// HostSpeedup returns serial host time / parallel host time.
+func (c CPUComparePoint) HostSpeedup() float64 {
+	if c.Parallel.HostSec <= 0 {
+		return 0
+	}
+	return c.Serial.HostSec / c.Parallel.HostSec
+}
+
+// CPUScalingCompare runs the sweep twice — serial and host-parallel —
+// and pairs the points. It panics if any point's virtual results
+// differ between the modes: that would mean the epoch protocol leaked
+// host scheduling into virtual time, which no flag may ever do.
+func CPUScalingCompare(sc Scale, counts []int) []CPUComparePoint {
+	ser := cpuScaling(sc, counts, false)
+	par := cpuScaling(sc, counts, true)
+	out := make([]CPUComparePoint, len(ser))
+	for i := range ser {
+		out[i] = CPUComparePoint{Serial: ser[i], Parallel: par[i]}
+		if !out[i].Match() {
+			panic(fmt.Sprintf("experiments: %d-CPU ghost-webserver run diverged between serial and host-parallel scheduling:\nserial:\n%s\nparallel:\n%s",
+				ser[i].NumCPUs, ser[i].Fingerprint, par[i].Fingerprint))
+		}
+	}
+	return out
+}
+
 // ghostServerThroughput boots an n-CPU Virtual Ghost system, runs
 // scalingWorkers request-serving processes, and derives throughput from
 // the makespan.
-func ghostServerThroughput(ncpus, reqsPerWorker int) CPUPoint {
+func ghostServerThroughput(ncpus, reqsPerWorker int, hostPar bool) CPUPoint {
 	cfg := hw.DefaultConfig()
 	cfg.NumCPUs = ncpus
-	sys, err := repro.NewSystemWithOptions(repro.VirtualGhost, repro.Options{Machine: cfg})
+	sys, err := repro.NewSystemWithOptions(repro.VirtualGhost, repro.Options{
+		Machine:      cfg,
+		HostParallel: hostPar,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: boot %d-cpu system: %v", ncpus, err))
 	}
 	k := sys.Kernel
-	const pageSz = 4096
-	seedFile(k, "/site.bin", pageSz)
+	seedFile(k, "/site.bin", scalingResponse)
+	// One application key for the server, installed through the trusted
+	// loader so sva.getKey works; per-request nonce counters embed the
+	// worker id, so one key across workers never repeats a nonce.
+	appKey := make([]byte, 32)
+	sys.Machine.RNG.Fill(appKey)
 	for w := 0; w < scalingWorkers; w++ {
-		if _, err := k.Spawn("ghost-httpd", func(p *kernel.Proc) {
+		worker := w
+		path := fmt.Sprintf("/bin/httpd%d", w)
+		if _, err := k.InstallTrustedProgram(path, appKey, func(p *kernel.Proc) {
 			l, err := libc.NewGhosting(p)
 			if err != nil {
 				panic(err)
 			}
-			buf, err := l.Malloc(pageSz)
+			content, err := l.Malloc(scalingResponse)
+			if err != nil {
+				panic(err)
+			}
+			sealed, err := l.Malloc(scalingResponse + vgcrypt.Overhead())
 			if err != nil {
 				panic(err)
 			}
@@ -79,20 +167,40 @@ func ghostServerThroughput(ncpus, reqsPerWorker int) CPUPoint {
 			if err != nil {
 				panic(err)
 			}
+			// Fill the ghost content cache once; the request loop then
+			// serves purely from ghost memory.
+			if _, err := l.Read(fd, content, scalingResponse); err != nil {
+				panic(err)
+			}
+			key := l.Key()
 			for r := 0; r < reqsPerWorker; r++ {
-				// One "request": rewind, read the response body into
-				// the ghost buffer, yield at the request boundary.
-				p.Syscall(kernel.SysLseek, uint64(fd), 0, 0)
-				if _, err := l.Read(fd, buf, pageSz); err != nil {
+				// One "request": read the cached body from ghost memory,
+				// seal it under the application key with a deterministic
+				// per-request nonce (a random nonce would draw from the
+				// shared RNG mid-request and is unnecessary — the counter
+				// never repeats per key), charge the crypto cycles, store
+				// the sealed response in ghost memory, and yield at the
+				// request boundary.
+				body := l.ReadGhost(content, scalingResponse)
+				blob, err := vgcrypt.SealWithKeyAndCounter(key,
+					uint64(worker)<<32|uint64(r), body)
+				if err != nil {
 					panic(err)
 				}
+				p.ComputeCrypt(uint64(len(body)+len(blob)) * hw.CostCryptPerByte)
+				l.WriteGhost(sealed, blob)
 				p.Syscall(kernel.SysYield)
 			}
 		}); err != nil {
 			panic(err)
 		}
+		if _, err := k.SpawnProgram(path); err != nil {
+			panic(err)
+		}
 	}
+	hostStart := time.Now()
 	k.RunUntilIdle()
+	hostSec := time.Since(hostStart).Seconds()
 	busy := k.CPUBusy()
 	var makespan uint64
 	for _, b := range busy {
@@ -101,9 +209,12 @@ func ghostServerThroughput(ncpus, reqsPerWorker int) CPUPoint {
 		}
 	}
 	pt := CPUPoint{
-		NumCPUs:     ncpus,
-		Requests:    scalingWorkers * reqsPerWorker,
-		MakespanSec: hw.Seconds(makespan),
+		NumCPUs:      ncpus,
+		Requests:     scalingWorkers * reqsPerWorker,
+		MakespanSec:  hw.Seconds(makespan),
+		HostSec:      hostSec,
+		HostParallel: k.HostParallel(),
+		Fingerprint:  scalingFingerprint(sys, scalingWorkers*reqsPerWorker),
 	}
 	if pt.MakespanSec > 0 {
 		pt.ReqPerSec = float64(pt.Requests) / pt.MakespanSec
@@ -114,20 +225,52 @@ func ghostServerThroughput(ncpus, reqsPerWorker int) CPUPoint {
 	return pt
 }
 
+// scalingFingerprint digests the deterministic virtual outputs of a
+// finished run into a comparable string.
+func scalingFingerprint(sys *repro.System, requests int) string {
+	k, m := sys.Kernel, sys.Machine
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests=%d cycles=%d\n", requests, m.Clock.Cycles())
+	fmt.Fprintf(&sb, "ledger=%v\n", m.Clock.Ledger())
+	for i := 0; i < k.NumCPUs(); i++ {
+		fmt.Fprintf(&sb, "cpu%d=%v\n", i, m.Clock.CPULedger(i))
+	}
+	fmt.Fprintf(&sb, "busy=%v\n", k.CPUBusy())
+	fmt.Fprintf(&sb, "stats=%+v\n", k.Stats())
+	sent, delivered, shootdowns := m.IPICounts()
+	fmt.Fprintf(&sb, "ipis=%d/%d shootdowns=%d\n", sent, delivered, shootdowns)
+	return sb.String()
+}
+
 // FormatCPUScaling renders the sweep.
 func FormatCPUScaling(pts []CPUPoint) string {
 	var sb strings.Builder
-	sb.WriteString("CPU scaling: ghost webserver on Virtual Ghost (virtual SMP)\n")
-	fmt.Fprintf(&sb, "%-6s %9s %12s %12s %9s %s\n",
-		"CPUs", "Requests", "Makespan s", "Req/s", "Speedup", "Per-CPU utilization")
+	sb.WriteString("CPU scaling: ghost webserver (content cache + AES-GCM sealing) on Virtual Ghost\n")
+	fmt.Fprintf(&sb, "%-6s %9s %12s %12s %9s %10s %s\n",
+		"CPUs", "Requests", "Makespan s", "Req/s", "Speedup", "Host s", "Per-CPU utilization")
 	for _, p := range pts {
 		utils := make([]string, len(p.Utilization))
 		for i, u := range p.Utilization {
 			utils[i] = fmt.Sprintf("%.2f", u)
 		}
-		fmt.Fprintf(&sb, "%-6d %9d %12.6f %12.0f %8.2fx %s\n",
+		fmt.Fprintf(&sb, "%-6d %9d %12.6f %12.0f %8.2fx %10.4f %s\n",
 			p.NumCPUs, p.Requests, p.MakespanSec, p.ReqPerSec, p.Speedup,
-			strings.Join(utils, " "))
+			p.HostSec, strings.Join(utils, " "))
+	}
+	return sb.String()
+}
+
+// FormatHostParallel renders the serial-vs-parallel host wall-clock
+// comparison (virtual results are asserted identical by construction).
+func FormatHostParallel(pts []CPUComparePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Host-parallel epoch scheduling: serial vs concurrent user phases (identical virtual results)\n")
+	fmt.Fprintf(&sb, "%-6s %12s %14s %14s %9s\n",
+		"CPUs", "Requests", "Serial host s", "Parallel host s", "Speedup")
+	for _, c := range pts {
+		fmt.Fprintf(&sb, "%-6d %12d %14.4f %14.4f %8.2fx\n",
+			c.Serial.NumCPUs, c.Serial.Requests,
+			c.Serial.HostSec, c.Parallel.HostSec, c.HostSpeedup())
 	}
 	return sb.String()
 }
@@ -149,10 +292,25 @@ func ExportCPUScaling(dir string, pts []CPUPoint) error {
 			fmt.Sprint(p.NumCPUs), fmt.Sprint(p.Requests),
 			f3(p.MakespanSec), f3(p.ReqPerSec), f3(p.Speedup),
 			f3(minU), f3(maxU),
+			f3(p.HostSec), fmt.Sprint(p.HostParallel),
 		})
 	}
 	return WriteCSV(dir, "cpu_scaling",
 		[]string{"num_cpus", "requests", "makespan_s", "req_per_s", "speedup",
-			"min_util", "max_util"},
+			"min_util", "max_util", "host_s", "host_parallel"},
+		out)
+}
+
+// ExportHostParallel writes host_parallel.csv.
+func ExportHostParallel(dir string, pts []CPUComparePoint) error {
+	out := make([][]string, 0, len(pts))
+	for _, c := range pts {
+		out = append(out, []string{
+			fmt.Sprint(c.Serial.NumCPUs), fmt.Sprint(c.Serial.Requests),
+			f3(c.Serial.HostSec), f3(c.Parallel.HostSec), f3(c.HostSpeedup()),
+		})
+	}
+	return WriteCSV(dir, "host_parallel",
+		[]string{"num_cpus", "requests", "serial_host_s", "parallel_host_s", "host_speedup"},
 		out)
 }

@@ -108,6 +108,11 @@ type BenchEntry struct {
 	HostAllocs     int64              `json:"host_allocs,omitempty"`
 	HostAllocBytes int64              `json:"host_alloc_bytes,omitempty"`
 	Metrics        map[string]float64 `json:"metrics"`
+	// HostParallel records whether epoch user phases ran on concurrent
+	// host goroutines (-hostpar). It can only change host_ns — every
+	// metric is bit-identical either way, and the cpu_scaling entry's
+	// equivalence check enforces that on every run.
+	HostParallel bool `json:"host_parallel,omitempty"`
 	// Breakdown attributes the measured virtual cycles per configuration
 	// (e.g. "null syscall/vghost") to cost tags (tag name -> cycles).
 	// Present for experiments that capture ledgers (Table 2/3/4).
@@ -129,8 +134,12 @@ type BenchReport struct {
 	Date          string `json:"date"`
 	Scale         string `json:"scale"`
 	// NumCPUs is the top of the SMP sweep (-cpus); 1 = single-CPU run.
-	NumCPUs int          `json:"num_cpus"`
-	Entries []BenchEntry `json:"experiments"`
+	NumCPUs int `json:"num_cpus"`
+	// HostCPUs is runtime.NumCPU() on the measuring machine — the hard
+	// ceiling on any host_speedup_* metric (one host core caps every
+	// host speedup at ~1x regardless of virtual CPU count).
+	HostCPUs int          `json:"host_cpus,omitempty"`
+	Entries  []BenchEntry `json:"experiments"`
 }
 
 // BreakdownMap converts a measurement ledger to the JSON breakdown

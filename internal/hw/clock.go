@@ -128,6 +128,34 @@ type Clock struct {
 	// tracer receives one event per charge when attached. The nil check
 	// is the entire disabled-path cost: no allocations, no cycles.
 	tracer *Tracer
+
+	// Shard state for the epoch/barrier scheduler (DESIGN.md §14).
+	// Between BeginShardPhase and EndShardPhase, ChargeOn accumulates
+	// into per-CPU shards instead of the global counters, so CPUs can
+	// charge concurrently from host goroutines without sharing any
+	// mutable word. EndShardPhase merges the shards in CPU-id order;
+	// totals are sums of charges, so the merged ledger is bit-identical
+	// no matter how the host interleaved the CPUs.
+	sharding  bool
+	shardBase uint64 // global cycles at BeginShardPhase (view origin)
+	shards    []clockShard
+}
+
+// clockShard is one CPU's private accumulator during a parallel user
+// phase. Exactly one goroutine (that CPU's) touches it between the
+// barriers; the scheduler reads it only after the phase joins.
+type clockShard struct {
+	cycles uint64
+	ledger Ledger
+	// Trace context stamped onto this CPU's shard events (the PID of
+	// the process dispatched on this CPU), set by the scheduler in the
+	// serial schedule phase.
+	pid int32
+	ctx uint32
+	// ring is the per-CPU trace ring (satellite of ISSUE 6): events
+	// recorded during the sharded phase land here, lock-free, and are
+	// merged timestamp-ordered into the main tracer at the barrier.
+	ring traceRing
 }
 
 // Cycles returns the current virtual time in cycles.
@@ -135,7 +163,16 @@ func (c *Clock) Cycles() uint64 { return c.cycles }
 
 // Charge advances the clock by n cycles attributed to tag. This is the
 // single entry point through which all simulated time passes.
+//
+// During a shard phase the global counters are frozen: every charge
+// must arrive through ChargeOn with an explicit CPU so it lands in
+// that CPU's private shard. A global charge here would be a data race
+// and a determinism bug, so it panics loudly instead of corrupting
+// the ledger.
 func (c *Clock) Charge(tag Tag, n uint64) {
+	if c.sharding {
+		panic("hw: global Clock.Charge during a sharded user phase (use ChargeOn, or run this work in the kernel phase)")
+	}
 	start := c.cycles
 	c.cycles += n
 	c.ledger[tag] += n
@@ -147,6 +184,134 @@ func (c *Clock) Charge(tag Tag, n uint64) {
 			Tag: tag, CPU: int32(c.cpu), PID: c.pid, Ctx: c.ctx,
 			Start: start, Dur: n,
 		})
+	}
+}
+
+// ChargeOn charges n cycles attributed to tag on behalf of a specific
+// CPU. Outside a shard phase it is exactly Charge (the scheduler keeps
+// the clock's selected CPU in sync with the executing CPU, so the
+// attribution is unchanged); inside a shard phase it accumulates into
+// the CPU's private shard so concurrent CPUs never share a counter.
+// Hardware owned by one CPU (the CPU core itself, its MMU) and
+// process-context compute charges route through here.
+func (c *Clock) ChargeOn(cpu int, tag Tag, n uint64) {
+	if !c.sharding {
+		c.Charge(tag, n)
+		return
+	}
+	s := &c.shards[cpu]
+	start := c.shardBase + s.cycles
+	s.cycles += n
+	s.ledger[tag] += n
+	if c.tracer != nil && n > 0 {
+		s.ring.record(TraceEvent{
+			Tag: tag, CPU: int32(cpu), PID: s.pid, Ctx: s.ctx,
+			Start: start, Dur: n,
+		})
+	}
+}
+
+// ChargeBytesOn is ChargeBytes routed through ChargeOn (same per-8-byte
+// rounding rule).
+func (c *Clock) ChargeBytesOn(cpu int, tag Tag, n int, costPer8 uint64) {
+	words := uint64(n+7) / 8
+	c.ChargeOn(cpu, tag, words*costPer8)
+}
+
+// BeginShardPhase freezes the global counters and opens per-CPU shards
+// for n CPUs. Called by the epoch scheduler (serial context) before
+// the user phase; until EndShardPhase, each CPU i may charge only via
+// ChargeOn(i, ...) and only from one goroutine.
+func (c *Clock) BeginShardPhase(n int) {
+	if c.sharding {
+		panic("hw: BeginShardPhase while already sharding")
+	}
+	c.EnsureCPUs(n)
+	c.growShards(n)
+	for i := 0; i < n; i++ {
+		s := &c.shards[i]
+		s.cycles = 0
+		s.ledger = Ledger{}
+		if c.tracer != nil && s.ring.buf == nil {
+			s.ring.init(DefaultTraceCapacity)
+		}
+	}
+	c.shardBase = c.cycles
+	c.sharding = true
+}
+
+// EndShardPhase merges the shards into the global clock in CPU-id
+// order and replays the per-CPU trace rings into the attached tracer,
+// timestamp-ordered (ties broken by CPU id). Totals are order-
+// independent sums, so the merged state is identical whether the
+// phase ran serially or on concurrent host goroutines.
+func (c *Clock) EndShardPhase() {
+	if !c.sharding {
+		panic("hw: EndShardPhase without BeginShardPhase")
+	}
+	c.sharding = false
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.cycles == 0 && c.tracer == nil {
+			continue
+		}
+		c.cycles += s.cycles
+		for t := Tag(0); t < NumTags; t++ {
+			if v := s.ledger[t]; v != 0 {
+				c.ledger[t] += v
+				if c.perCPU != nil {
+					c.perCPU[i][t] += v
+				}
+			}
+		}
+	}
+	if c.tracer != nil {
+		c.tracer.mergeShardRings(c.shards)
+	}
+}
+
+// Sharding reports whether a shard phase is open (user segments are —
+// or may be — executing on host goroutines).
+func (c *Clock) Sharding() bool { return c.sharding }
+
+// ShardCycles returns the cycles CPU cpu has accumulated in the open
+// shard phase. The scheduler reads it after the phase joins to credit
+// per-CPU busy time.
+func (c *Clock) ShardCycles(cpu int) uint64 {
+	if cpu < 0 || cpu >= len(c.shards) {
+		return 0
+	}
+	return c.shards[cpu].cycles
+}
+
+// CyclesOn returns CPU cpu's view of the current time: during a shard
+// phase, the phase origin plus the CPU's own accumulated cycles
+// (monotonic per CPU, independent of its siblings); otherwise the
+// global cycle counter.
+func (c *Clock) CyclesOn(cpu int) uint64 {
+	if c.sharding && cpu >= 0 && cpu < len(c.shards) {
+		return c.shardBase + c.shards[cpu].cycles
+	}
+	return c.cycles
+}
+
+// SetShardContext stamps CPU cpu's shard trace events with a process
+// id and context word. The scheduler sets it during the serial
+// schedule phase, before user segments run. Costs no virtual cycles.
+func (c *Clock) SetShardContext(cpu int, pid int32, ctx uint32) {
+	if cpu < 0 {
+		return
+	}
+	c.growShards(cpu + 1)
+	c.shards[cpu].pid, c.shards[cpu].ctx = pid, ctx
+}
+
+// growShards sizes the shard slice for at least n CPUs.
+func (c *Clock) growShards(n int) {
+	if n > len(c.shards) {
+		grown := make([]clockShard, n)
+		copy(grown, c.shards)
+		c.shards = grown
 	}
 }
 

@@ -179,8 +179,15 @@ func (c *CPU) ReturnFromTrap(tf *TrapFrame) {
 
 // LoadVirt performs a data load of size bytes at virtual address v at
 // the CPU's current privilege, charging the access cost.
+//
+// The data-access paths below charge via ChargeOn(c.ID): they execute
+// in process context, which the epoch scheduler may run on a host
+// goroutine during a parallel user phase, so their cycles must land on
+// this CPU's shard. (Trap/ReturnFromTrap stay on the global Charge:
+// traps are kernel-phase work by construction, and the global path's
+// shard panic enforces exactly that.)
 func (c *CPU) LoadVirt(v Virt, size int) (uint64, error) {
-	c.Clock.Charge(TagMemAccess, CostMemAccess)
+	c.Clock.ChargeOn(c.ID, TagMemAccess, CostMemAccess)
 	p, err := c.MMU.Translate(v, AccRead, c.Regs.Priv == User)
 	if err != nil {
 		return 0, err
@@ -190,7 +197,7 @@ func (c *CPU) LoadVirt(v Virt, size int) (uint64, error) {
 
 // StoreVirt performs a data store of size bytes at virtual address v.
 func (c *CPU) StoreVirt(v Virt, size int, val uint64) error {
-	c.Clock.Charge(TagMemAccess, CostMemAccess)
+	c.Clock.ChargeOn(c.ID, TagMemAccess, CostMemAccess)
 	p, err := c.MMU.Translate(v, AccWrite, c.Regs.Priv == User)
 	if err != nil {
 		return err
@@ -201,8 +208,8 @@ func (c *CPU) StoreVirt(v Virt, size int, val uint64) error {
 // CopyToVirt copies a byte block into the virtual address space,
 // page by page, charging block-copy costs.
 func (c *CPU) CopyToVirt(v Virt, b []byte) error {
-	c.Clock.Charge(TagMemAccess, CostMemAccess)
-	c.Clock.ChargeBytes(TagMemAccess, len(b), CostBcopyPerByte)
+	c.Clock.ChargeOn(c.ID, TagMemAccess, CostMemAccess)
+	c.Clock.ChargeBytesOn(c.ID, TagMemAccess, len(b), CostBcopyPerByte)
 	for len(b) > 0 {
 		n := int(PageSize - (v & (PageSize - 1)))
 		if n > len(b) {
@@ -223,8 +230,8 @@ func (c *CPU) CopyToVirt(v Virt, b []byte) error {
 
 // CopyFromVirt copies n bytes out of the virtual address space.
 func (c *CPU) CopyFromVirt(v Virt, n int) ([]byte, error) {
-	c.Clock.Charge(TagMemAccess, CostMemAccess)
-	c.Clock.ChargeBytes(TagMemAccess, n, CostBcopyPerByte)
+	c.Clock.ChargeOn(c.ID, TagMemAccess, CostMemAccess)
+	c.Clock.ChargeBytesOn(c.ID, TagMemAccess, n, CostBcopyPerByte)
 	out := make([]byte, n)
 	pos := 0
 	for n > 0 {

@@ -3,6 +3,7 @@ package hw
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -116,6 +117,91 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, "]}\n")
 	return err
+}
+
+// traceRing is one CPU's private, preallocated trace ring, written
+// lock-free during a sharded user phase (exactly one goroutine writes
+// it between barriers) and drained into the shared Tracer at the
+// barrier. Like the main ring, it keeps the most recent events when
+// full; overwrites are counted so merge accounting stays exact.
+type traceRing struct {
+	buf     []TraceEvent
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+func (r *traceRing) init(capacity int) {
+	r.buf = make([]TraceEvent, 0, capacity)
+}
+
+func (r *traceRing) record(ev TraceEvent) {
+	if r.buf == nil {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	r.dropped++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// drain returns the retained events oldest-first and resets the ring
+// for the next phase (capacity is kept; nothing is reallocated).
+func (r *traceRing) drain() []TraceEvent {
+	if r.buf == nil || len(r.buf) == 0 {
+		return nil
+	}
+	var out []TraceEvent
+	if r.wrapped || r.next > 0 && len(r.buf) == cap(r.buf) {
+		out = make([]TraceEvent, 0, len(r.buf))
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = make([]TraceEvent, len(r.buf))
+		copy(out, r.buf)
+	}
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.wrapped = false
+	return out
+}
+
+// mergeShardRings drains every shard's ring and replays the events into
+// the main ring in timestamp order (stable; ties keep CPU-id order,
+// because shards are drained in CPU-id order and the sort is stable).
+// Runs at the epoch barrier, in serial context; the result is
+// deterministic regardless of how the host interleaved the CPUs during
+// the phase, because each ring's contents depend only on its own CPU's
+// charges.
+func (t *Tracer) mergeShardRings(shards []clockShard) {
+	var all []TraceEvent
+	var dropped uint64
+	for i := range shards {
+		r := &shards[i].ring
+		dropped += r.dropped
+		r.dropped = 0
+		evs := r.drain()
+		if len(evs) > 0 {
+			all = append(all, evs...)
+		}
+	}
+	if len(all) == 0 && dropped == 0 {
+		return
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	t.mu.Lock()
+	t.total += dropped // overwritten in a shard ring: recorded, not retained
+	t.mu.Unlock()
+	for _, ev := range all {
+		t.record(ev)
+	}
 }
 
 // defaultTracer is attached to every subsequently constructed machine's

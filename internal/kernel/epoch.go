@@ -1,0 +1,218 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// This file is the epoch/barrier scheduler used on every multi-CPU
+// machine (DESIGN.md §14). Execution proceeds in epochs of three
+// strictly ordered phases:
+//
+//  1. Schedule phase (serial, CPU-id order): every CPU whose slot is
+//     empty picks its next runnable process exactly like the classic
+//     dispatcher — pending IPIs drain, the context-switch cost is
+//     charged, the address space is loaded — and the process is pinned
+//     to the CPU as its in-flight slot.
+//  2. User phase: every slot whose process is in user mode runs one
+//     user segment — user instructions up to the next HAL entry
+//     (syscall, trap, ghost/key operation) or voluntary end. Segments
+//     touch only per-CPU and per-process state plus that CPU's private
+//     clock shard (hw.Clock.BeginShardPhase), so they are independent:
+//     the scheduler may run them serially in CPU-id order or on
+//     concurrent host goroutines (Kernel.SetHostParallel) with
+//     bit-identical results.
+//  3. Kernel phase (serial, CPU-id order): the barrier. Shards merge
+//     into the global clock in CPU-id order, then each slot that
+//     parked wanting kernel work runs its kernel segment — syscall
+//     handlers, fault handling, IPIs, TLB shootdowns, signal delivery
+//     — on the shared global clock, exactly one at a time.
+//
+// Determinism argument: the schedule and kernel phases are serial in a
+// fixed order; user segments are data-race-free by construction (the
+// shard/freeze machinery in internal/hw turns violations into panics
+// under test), and their per-CPU effects merge at the barrier in fixed
+// CPU-id order. Hence every virtual number — cycle totals, ledgers,
+// per-CPU attribution, trace events, experiment tables — is identical
+// whether the user phase ran on one host thread or eight.
+
+// pendKind tells the epoch scheduler which phase resumes a CPU's
+// in-flight process next.
+type pendKind uint8
+
+const (
+	pendNone pendKind = iota
+	// pendUser: the process resumes in the next user phase (fresh
+	// dispatch of a user-mode process, or its kernel segment finished).
+	pendUser
+	// pendKernel: the process resumes in the next kernel phase (it
+	// parked at a HAL entry, or was redispatched mid-syscall after a
+	// yield/block inside the kernel).
+	pendKernel
+)
+
+// runEpochs drives the epoch scheduler until the predicate is
+// satisfied (when non-nil) or no CPU can be given work. It reports
+// whether the predicate was satisfied (false for RunUntilIdle's nil
+// predicate).
+func (k *Kernel) runEpochs(done func() bool) bool {
+	for {
+		if done != nil && done() {
+			return true
+		}
+		if !k.epoch() {
+			if done == nil {
+				return false
+			}
+			return done()
+		}
+	}
+}
+
+// epoch advances the machine by one epoch. It reports whether any CPU
+// had work (in flight or newly dispatched); an all-idle epoch performs
+// nothing and ends the run loop.
+func (k *Kernel) epoch() bool {
+	// Network input is polled once per epoch, before scheduling, so
+	// packets from a peer machine promote blocked readers this epoch.
+	k.Net.Poll()
+	work := false
+	for _, c := range k.cpus {
+		if c.slot == nil {
+			k.dispatchEpoch(c)
+		}
+		if c.slot != nil {
+			work = true
+		}
+	}
+	if !work {
+		return false
+	}
+	k.userPhase()
+	k.kernelPhase()
+	return true
+}
+
+// dispatchEpoch fills CPU c's empty slot with its next runnable
+// process, performing the same context-switch work (and charging the
+// same cycles) as the classic dispatcher. Serial context, CPU-id
+// order.
+func (k *Kernel) dispatchEpoch(c *cpuRun) {
+	p := k.pickNextOn(c)
+	if p == nil {
+		p = k.steal(c)
+	}
+	if p == nil {
+		return
+	}
+	k.M.SetCurrentCPU(c.id)
+	start := k.M.Clock.Cycles()
+	k.M.DrainIPIs(c.id)
+	c.lastPID = p.PID
+	k.stats.ContextSwitch++
+	k.HAL.KAccess(workSched)
+	k.M.Clock.Charge(hw.TagSched, hw.CostContextSwitch)
+	k.HAL.SetCurrentThread(p.tid)
+	if err := k.HAL.LoadAddressSpace(p.root); err != nil {
+		panic(fmt.Sprintf("kernel: context switch to pid %d: %v", p.PID, err))
+	}
+	k.M.Cur().Regs.Priv = hw.User
+	p.onCPU = c.id
+	p.inflight = true
+	c.slot = p
+	if p.kdepth > 0 {
+		// The process parked inside a kernel segment (a yield or block
+		// in a syscall handler): it resumes in the kernel phase.
+		c.pend = pendKernel
+	} else {
+		c.pend = pendUser
+	}
+	// Stamp this CPU's shard trace events with the dispatched process.
+	k.M.Clock.SetShardContext(c.id, int32(p.PID), 0)
+	c.busy += k.M.Clock.Cycles() - start
+}
+
+// userPhase runs one user segment on every slot that is pending user
+// execution. With host parallelism the segments run on concurrent
+// host goroutines (launch and join both in CPU-id order); otherwise
+// they run serially in CPU-id order. Both orders execute identical
+// code against disjoint state, so the post-phase machine state is
+// bit-identical.
+func (k *Kernel) userPhase() {
+	k.M.BeginUserPhase()
+	if k.hostPar {
+		// Launch every pending user segment: each send hands the CPU's
+		// process goroutine its slice of the epoch and returns
+		// immediately, so all segments execute concurrently.
+		for _, c := range k.cpus {
+			if c.slot != nil && c.pend == pendUser {
+				c.slot.runCh <- struct{}{}
+			}
+		}
+		// Join in CPU-id order.
+		for _, c := range k.cpus {
+			if c.slot != nil && c.pend == pendUser {
+				<-c.slot.yldCh
+			}
+		}
+	} else {
+		for _, c := range k.cpus {
+			if c.slot != nil && c.pend == pendUser {
+				c.slot.runCh <- struct{}{}
+				<-c.slot.yldCh
+			}
+		}
+	}
+	// Post-phase bookkeeping, serial in CPU-id order: credit each CPU's
+	// busy time from its shard and record how each segment ended.
+	for _, c := range k.cpus {
+		if c.slot == nil || c.pend != pendUser {
+			continue
+		}
+		c.busy += k.M.Clock.ShardCycles(c.id)
+		p := c.slot
+		switch p.parkWhy {
+		case parkKernel:
+			c.pend = pendKernel
+		case parkEnd:
+			p.inflight = false
+			c.slot = nil
+			c.pend = pendNone
+		default:
+			panic(fmt.Sprintf("kernel: pid %d parked %d out of a user segment", p.PID, p.parkWhy))
+		}
+	}
+	k.M.EndUserPhase()
+}
+
+// kernelPhase is the epoch barrier's serial half: every slot that
+// parked wanting kernel work runs it now, one CPU at a time in CPU-id
+// order, on the merged global clock.
+func (k *Kernel) kernelPhase() {
+	for _, c := range k.cpus {
+		if c.slot == nil || c.pend != pendKernel {
+			continue
+		}
+		p := c.slot
+		k.M.SetCurrentCPU(c.id)
+		k.cur = p
+		k.M.Clock.SetContext(int32(p.PID), 0)
+		start := k.M.Clock.Cycles()
+		p.runCh <- struct{}{}
+		<-p.yldCh
+		k.cur = nil
+		k.M.Clock.SetContext(0, 0)
+		c.busy += k.M.Clock.Cycles() - start
+		switch p.parkWhy {
+		case parkUserResume:
+			c.pend = pendUser
+		case parkEnd:
+			p.inflight = false
+			c.slot = nil
+			c.pend = pendNone
+		default:
+			panic(fmt.Sprintf("kernel: pid %d parked %d out of a kernel segment", p.PID, p.parkWhy))
+		}
+	}
+}

@@ -153,6 +153,15 @@ type Kernel struct {
 	// built once at boot (see modintr.go).
 	intrinsics map[string]IntrinsicHandler
 
+	// epochMode is true on multi-CPU machines: the scheduler runs the
+	// deterministic epoch/barrier protocol (epoch.go) instead of the
+	// single-CPU serial loop. hostPar additionally runs each epoch's
+	// user phase on concurrent host goroutines; it changes host
+	// wall-clock only — every virtual number is bit-identical either
+	// way, because the phases execute the same code in the same order.
+	epochMode bool
+	hostPar   bool
+
 	stats Stats
 	// sysProf is the per-syscall cycle histogram (see profile.go).
 	sysProf map[uint64]*SyscallCycles
@@ -206,6 +215,37 @@ func (k *Kernel) SetEngine(e EngineKind) { k.engineKind = e }
 
 // Engine reports which engine this kernel executes module IR with.
 func (k *Kernel) Engine() EngineKind { return k.engineKind }
+
+// defaultHostParallel is the host-parallelism setting new kernels boot
+// with (see SetDefaultHostParallel).
+var defaultHostParallel = false
+
+// SetDefaultHostParallel changes whether subsequently booted multi-CPU
+// kernels run their epoch user phases on concurrent host goroutines,
+// and returns the previous default. cmd/vgrun, cmd/vgbench and
+// cmd/vgattack use it to honour their -hostpar flag; like
+// SetDefaultEngine it exists so experiment helpers that boot kernels
+// internally (the security matrix, scaling sweeps) pick the mode up
+// without threading a parameter through every constructor.
+func SetDefaultHostParallel(on bool) bool {
+	old := defaultHostParallel
+	defaultHostParallel = on
+	return old
+}
+
+// DefaultHostParallel reports the current package default (what the
+// next Boot will use on a multi-CPU machine).
+func DefaultHostParallel() bool { return defaultHostParallel }
+
+// SetHostParallel switches this kernel between serial and host-parallel
+// user phases. It only has an effect on multi-CPU machines (single-CPU
+// kernels never run the epoch scheduler) and is safe to flip between
+// runs; every exported virtual number is identical in both modes.
+func (k *Kernel) SetHostParallel(on bool) { k.hostPar = on }
+
+// HostParallel reports whether epoch user phases run on concurrent
+// host goroutines.
+func (k *Kernel) HostParallel() bool { return k.hostPar }
 
 // Stats counts kernel events for tests and experiment reporting.
 type Stats struct {
@@ -266,6 +306,8 @@ func Boot(hal core.HAL) (*Kernel, error) {
 		k.cpus[i] = &cpuRun{id: i}
 	}
 	k.lastCPU = len(k.cpus) - 1 // first schedStep starts at CPU 0
+	k.epochMode = len(k.cpus) > 1
+	k.hostPar = k.epochMode && defaultHostParallel
 	k.installIntrinsics()
 	hal.RegisterFrameSource(frameSource{m: k.M.Mem})
 	hal.RegisterTrapHandler(k.trapEntry)

@@ -95,6 +95,20 @@ type Proc struct {
 	yldCh  chan struct{}
 	mainFn func(p *Proc)
 
+	// Epoch-scheduler state (epoch.go; unused on single-CPU machines).
+	// onCPU is the CPU this process is currently dispatched on — unlike
+	// cpu (the run-queue home), it names the hw.CPU whose register
+	// file, TLB and clock shard this process's user segments use, so it
+	// must be read instead of M.Cur() on paths that can run during a
+	// parallel user phase. kdepth counts nested kernel entries (a
+	// signal handler issuing a syscall does not re-park). parkWhy tells
+	// the scheduler why the goroutine last parked; inflight marks the
+	// process as occupying a CPU slot so no second slot can pick it up.
+	onCPU    int
+	kdepth   int
+	parkWhy  parkReason
+	inflight bool
+
 	// execNext holds the program image to switch to after execve.
 	execNext func(p *Proc)
 	// pendingChildMain carries the child closure across the fork
@@ -226,12 +240,17 @@ func (p *Proc) top() {
 		}
 		break
 	}
-	// If the image returned without exit(), perform a normal exit.
+	// If the image returned without exit(), perform a normal exit. The
+	// teardown is kernel work (it frees frames and scrubs ghost pages),
+	// so it runs as a kernel segment on epoch-scheduled machines.
 	if p.state != procZombie {
+		p.enterKernel()
 		p.sysExitInternal(p.exitCode)
+		p.exitKernel()
 	}
 	// Final yield: hand the CPU back to the scheduler forever.
 	p.state = procZombie
+	p.parkWhy = parkEnd
 	p.yldCh <- struct{}{}
 }
 
@@ -254,6 +273,55 @@ func (p *Proc) runImage() (s procSentinel) {
 
 // --- scheduler-facing internals ---------------------------------------
 
+// parkReason tells the scheduler why a process goroutine handed back
+// control (only consulted by the epoch scheduler, epoch.go).
+type parkReason uint8
+
+const (
+	// parkEnd: the dispatch is over — the process yielded, blocked, or
+	// became a zombie. Its CPU slot is freed.
+	parkEnd parkReason = iota
+	// parkKernel: user code reached a HAL entry (syscall, trap, ghost
+	// or key operation) and wants a kernel segment. The process stays
+	// in its slot; the serial kernel phase resumes it at the barrier.
+	parkKernel
+	// parkUserResume: the kernel segment finished; the process wants to
+	// continue user execution in the next epoch's user phase.
+	parkUserResume
+)
+
+// enterKernel marks the transition from user execution into kernel/HAL
+// work. On an epoch-scheduled machine (NumCPUs > 1) the goroutine
+// parks until the serial kernel phase at the epoch barrier resumes it,
+// so kernel work — shared clock, shared kernel state, IPIs, TLB
+// shootdowns — never runs concurrently with another CPU's user
+// segment. Nested entries (a signal handler issuing a syscall inside a
+// kernel segment) do not re-park. On single-CPU machines this is a
+// counter increment and nothing else.
+func (p *Proc) enterKernel() {
+	p.kdepth++
+	if p.kdepth > 1 || !p.k.epochMode {
+		return
+	}
+	p.parkWhy = parkKernel
+	p.yldCh <- struct{}{}
+	<-p.runCh
+}
+
+// exitKernel closes the outermost kernel entry. On an epoch-scheduled
+// machine the goroutine parks until the next epoch's user phase
+// resumes it (user execution must not continue inside the serial
+// kernel phase).
+func (p *Proc) exitKernel() {
+	p.kdepth--
+	if p.kdepth > 0 || !p.k.epochMode {
+		return
+	}
+	p.parkWhy = parkUserResume
+	p.yldCh <- struct{}{}
+	<-p.runCh
+}
+
 // block parks the process until cond becomes true. Must be called on
 // the process goroutine (from user code or a syscall handler running in
 // process context).
@@ -263,6 +331,7 @@ func (p *Proc) block(cond func() bool) {
 	}
 	p.state = procBlocked
 	p.cond = cond
+	p.parkWhy = parkEnd
 	p.yldCh <- struct{}{}
 	<-p.runCh
 	p.state = procRunning
@@ -272,6 +341,7 @@ func (p *Proc) block(cond func() bool) {
 // yield voluntarily gives up the CPU.
 func (p *Proc) yield() {
 	p.state = procRunnable
+	p.parkWhy = parkEnd
 	p.yldCh <- struct{}{}
 	<-p.runCh
 	p.state = procRunning
@@ -301,9 +371,13 @@ func (p *Proc) Root() hw.Frame { return p.root }
 
 // Syscall issues a system call from user mode. It also runs the
 // post-trap user work: a pending pushed signal handler, preemption.
+// The whole body — trap, handler dispatch, pushed signal handlers,
+// preemption check — is one kernel segment: on an epoch-scheduled
+// machine it runs serially at the epoch barrier.
 func (p *Proc) Syscall(num uint64, args ...uint64) uint64 {
 	var av [6]uint64
 	copy(av[:], args)
+	p.enterKernel()
 	ret := p.k.HAL.Syscall(num, av)
 	// If the saved program counter was redirected while we were in the
 	// kernel (interrupted-state tampering), the CPU resumes wherever it
@@ -320,6 +394,7 @@ func (p *Proc) Syscall(num uint64, args ...uint64) uint64 {
 	if p.k.M.Timer.Fired() && p.state == procRunning {
 		p.yield()
 	}
+	p.exitKernel()
 	return ret
 }
 
@@ -361,13 +436,19 @@ func (p *Proc) RegisterCode(fn HandlerFunc) uint64 {
 // target (sva.permitFunction). Applications call this via the libc
 // signal wrappers.
 func (p *Proc) PermitFunction(addr uint64) error {
+	p.enterKernel()
+	defer p.exitKernel()
 	return p.k.HAL.PermitFunction(p.tid, addr)
 }
 
 // AllocGM maps npages of ghost memory at the top of the process's ghost
 // partition bump allocator and returns the base address (the allocgm
-// instruction; the libc ghost malloc sits on top of this).
+// instruction; the libc ghost malloc sits on top of this). Like every
+// HAL entry from user code, it is a kernel segment on epoch-scheduled
+// machines: the VM's mapping work runs serially at the barrier.
 func (p *Proc) AllocGM(npages int) (hw.Virt, error) {
+	p.enterKernel()
+	defer p.exitKernel()
 	va := p.ghostBrk
 	if err := p.k.HAL.AllocGhost(p.tid, p.root, va, npages); err != nil {
 		return 0, err
@@ -376,16 +457,30 @@ func (p *Proc) AllocGM(npages int) (hw.Virt, error) {
 	return va, nil
 }
 
-// FreeGM releases ghost pages (freegm).
+// FreeGM releases ghost pages (freegm). Kernel segment: the free runs
+// the TLB-shootdown protocol, which must happen at the epoch barrier.
 func (p *Proc) FreeGM(va hw.Virt, npages int) error {
+	p.enterKernel()
+	defer p.exitKernel()
 	return p.k.HAL.FreeGhost(p.tid, p.root, va, npages)
 }
 
 // GetKey fetches the application key from the VM (sva.getKey).
-func (p *Proc) GetKey() ([]byte, error) { return p.k.HAL.GetKey(p.tid) }
+func (p *Proc) GetKey() ([]byte, error) {
+	p.enterKernel()
+	defer p.exitKernel()
+	return p.k.HAL.GetKey(p.tid)
+}
 
-// TrustedRandom reads the VM's trusted random-number instruction.
-func (p *Proc) TrustedRandom() uint64 { return p.k.HAL.Random() }
+// TrustedRandom reads the VM's trusted random-number instruction. The
+// hardware RNG is shared machine state, so this too is a kernel
+// segment on epoch-scheduled machines (and its draw order is the
+// deterministic barrier order, not a host race).
+func (p *Proc) TrustedRandom() uint64 {
+	p.enterKernel()
+	defer p.exitKernel()
+	return p.k.HAL.Random()
+}
 
 // Exit terminates the process with the given code.
 func (p *Proc) Exit(code int) {
@@ -458,9 +553,14 @@ func (p *Proc) faultingAccess(do func() error) {
 		}
 		var f *hw.Fault
 		if errors.As(err, &f) {
+			// The fault itself is a kernel segment: the handler mutates
+			// page tables and the frame allocator, so on epoch-scheduled
+			// machines it runs serially at the barrier.
+			p.enterKernel()
 			p.k.HAL.Trap(hw.TrapPageFault, uint64(f.VA))
 			p.runPendingHandler()
 			p.checkKilled()
+			p.exitKernel()
 			continue
 		}
 		panic(fmt.Sprintf("kernel: user access failed: %v", err))
@@ -470,11 +570,17 @@ func (p *Proc) faultingAccess(do func() error) {
 	panic(fmt.Sprintf("kernel: pid %d unresolvable fault", p.PID))
 }
 
+// cpuHW returns the hardware CPU this process is dispatched on. User
+// memory accesses must go through it (not M.Cur()): during a parallel
+// user phase several processes are in flight at once and M.Cur() names
+// whichever CPU the serial scheduler touched last.
+func (p *Proc) cpuHW() *hw.CPU { return p.k.M.CPUs[p.onCPU] }
+
 // Read copies n bytes from user memory into a fresh Go slice.
 func (p *Proc) Read(va uint64, n int) []byte {
 	var out []byte
 	p.faultingAccess(func() error {
-		b, err := p.k.M.Cur().CopyFromVirt(hw.Virt(va), n)
+		b, err := p.cpuHW().CopyFromVirt(hw.Virt(va), n)
 		if err != nil {
 			return err
 		}
@@ -487,7 +593,7 @@ func (p *Proc) Read(va uint64, n int) []byte {
 // Write copies bytes into user memory.
 func (p *Proc) Write(va uint64, b []byte) {
 	p.faultingAccess(func() error {
-		return p.k.M.Cur().CopyToVirt(hw.Virt(va), b)
+		return p.cpuHW().CopyToVirt(hw.Virt(va), b)
 	})
 }
 
@@ -495,7 +601,7 @@ func (p *Proc) Write(va uint64, b []byte) {
 func (p *Proc) Load(va uint64, size int) uint64 {
 	var out uint64
 	p.faultingAccess(func() error {
-		v, err := p.k.M.Cur().LoadVirt(hw.Virt(va), size)
+		v, err := p.cpuHW().LoadVirt(hw.Virt(va), size)
 		if err != nil {
 			return err
 		}
@@ -508,18 +614,19 @@ func (p *Proc) Load(va uint64, size int) uint64 {
 // Store writes a size-byte little-endian value to user memory.
 func (p *Proc) Store(va uint64, size int, v uint64) {
 	p.faultingAccess(func() error {
-		return p.k.M.Cur().StoreVirt(hw.Virt(va), size, v)
+		return p.cpuHW().StoreVirt(hw.Virt(va), size, v)
 	})
 }
 
-// Compute charges n cycles of pure user computation.
+// Compute charges n cycles of pure user computation (on this process's
+// CPU shard during a parallel user phase).
 func (p *Proc) Compute(cycles uint64) {
-	p.k.M.Clock.Charge(hw.TagCompute, cycles)
+	p.k.M.Clock.ChargeOn(p.onCPU, hw.TagCompute, cycles)
 }
 
 // ComputeCrypt charges n cycles of user-level cryptography (the
 // ghosting libc's AES-GCM work), so breakdowns separate crypto from
 // plain computation.
 func (p *Proc) ComputeCrypt(cycles uint64) {
-	p.k.M.Clock.Charge(hw.TagCrypt, cycles)
+	p.k.M.Clock.ChargeOn(p.onCPU, hw.TagCrypt, cycles)
 }

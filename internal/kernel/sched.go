@@ -7,17 +7,21 @@ import (
 )
 
 // This file is the scheduler: per-CPU round-robin run queues over
-// cooperative process goroutines, serialized so exactly one goroutine
-// (a process or the scheduler itself) runs at a time. Virtual CPUs are
-// stepped by a deterministic round-robin interleaver — never by host
-// goroutines — so multi-CPU runs are exactly reproducible. On a
-// single-CPU machine this reduces to the original global run queue.
+// cooperative process goroutines. On a single-CPU machine the original
+// serial loop below runs one process goroutine at a time and nothing
+// else. Multi-CPU machines always run the deterministic epoch/barrier
+// scheduler instead (epoch.go): each epoch every CPU is dispatched one
+// user segment, user segments run either serially in CPU-id order or —
+// with host parallelism enabled — on concurrent host goroutines, and
+// all cross-CPU effects are delivered serially at the epoch barrier in
+// CPU-id order. Both user-phase modes execute identical code in an
+// identical order, so every virtual number is bit-identical; -hostpar
+// changes host wall-clock only.
 //
-// Virtual parallelism is modeled by attribution, not by concurrent
-// host execution: every dispatch samples the clock around the
-// process's time slice and charges it to the dispatching CPU's busy
-// counter. Experiments derive per-CPU utilization and makespan
-// (max busy across CPUs) from these counters.
+// Virtual parallelism is modeled by attribution: every dispatch
+// samples the clock around the process's time slice and charges it to
+// the dispatching CPU's busy counter. Experiments derive per-CPU
+// utilization and makespan (max busy across CPUs) from these counters.
 
 // cpuRun is one virtual CPU's scheduler state: a sorted PID run queue,
 // maintained incrementally on process creation/exit/migration rather
@@ -27,6 +31,11 @@ type cpuRun struct {
 	pids    []int // ascending; invariant maintained by schedAdd/schedRemove
 	lastPID int   // last dispatched PID (round-robin cursor)
 	busy    uint64
+
+	// Epoch-scheduler slot state (epoch.go): the process currently
+	// pinned to this CPU, and which phase resumes it next.
+	slot *Proc
+	pend pendKind
 }
 
 // insertPID adds pid to the sorted queue.
@@ -74,7 +83,9 @@ func (k *Kernel) pickNextOn(c *cpuRun) *Proc {
 			p.state = procRunnable
 			p.cond = nil
 		}
-		if p.state != procRunnable {
+		// In-flight processes already occupy an epoch slot (possibly on
+		// another CPU); no second slot may pick them up.
+		if p.state != procRunnable || p.inflight {
 			continue
 		}
 		if first == nil {
@@ -100,7 +111,7 @@ func (k *Kernel) steal(c *cpuRun) *Proc {
 		victim := k.cpus[(c.id+i)%n]
 		for _, pid := range victim.pids {
 			p := k.procs[pid]
-			if p.state != procRunnable {
+			if p.state != procRunnable || p.inflight {
 				continue
 			}
 			victim.removePID(pid)
@@ -131,6 +142,7 @@ func (k *Kernel) dispatchOn(c *cpuRun, p *Proc) {
 		panic(fmt.Sprintf("kernel: context switch to pid %d: %v", p.PID, err))
 	}
 	k.M.Cur().Regs.Priv = hw.User
+	p.onCPU = c.id
 	k.cur = p
 	k.M.Clock.SetContext(int32(p.PID), 0)
 	p.runCh <- struct{}{}
@@ -167,6 +179,10 @@ func (k *Kernel) schedStep() bool {
 // zombies, or no processes left). Network input is polled between
 // dispatches so packets from a peer machine wake blocked readers.
 func (k *Kernel) RunUntilIdle() {
+	if k.epochMode {
+		k.runEpochs(nil)
+		return
+	}
 	for {
 		k.Net.Poll()
 		if !k.schedStep() {
@@ -178,6 +194,9 @@ func (k *Kernel) RunUntilIdle() {
 // RunUntil schedules until the predicate becomes true or the kernel
 // goes idle. It reports whether the predicate was satisfied.
 func (k *Kernel) RunUntil(done func() bool) bool {
+	if k.epochMode {
+		return k.runEpochs(done)
+	}
 	for !done() {
 		k.Net.Poll()
 		if !k.schedStep() {
