@@ -1,67 +1,30 @@
 package repro_test
 
 import (
-	"fmt"
-	"os"
-	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
-// rawAdvance matches calls to the legacy untagged clock entry points.
-var rawAdvance = regexp.MustCompile(`\.Advance(Bytes)?\(`)
-
-// TestNoRawAdvanceOutsideAccountingLayer enforces the tagged-accounting
-// refactor at the source level: production code must charge cycles
-// through Clock.Charge/ChargeBytes with a real cost tag, never through
-// the untagged Advance/AdvanceBytes wrappers. The wrappers live on for
-// tests that simulate the passage of time (and are defined in
-// internal/hw/clock.go), so _test.go files and the clock itself are
-// exempt. Anything else that calls them books cycles under TagOther and
-// silently degrades every breakdown this PR added.
-func TestNoRawAdvanceOutsideAccountingLayer(t *testing.T) {
-	var offenders []string
-	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() {
-			switch info.Name() {
-			case ".git", "testdata":
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		slash := filepath.ToSlash(path)
-		if !strings.HasSuffix(slash, ".go") || strings.HasSuffix(slash, "_test.go") {
-			return nil
-		}
-		if slash == "internal/hw/clock.go" {
-			return nil // defines the wrappers
-		}
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		for i, line := range strings.Split(string(raw), "\n") {
-			trimmed := strings.TrimSpace(line)
-			if strings.HasPrefix(trimmed, "//") {
-				continue
-			}
-			if rawAdvance.MatchString(line) {
-				offenders = append(offenders,
-					fmt.Sprintf("%s:%d: %s", slash, i+1, trimmed))
-			}
-		}
-		return nil
-	})
+// TestLintClean runs the determinism analyzer suite (internal/lint,
+// also exposed as cmd/vglint) over the whole module, so `go test
+// ./...` enforces a vglint-clean tree. This subsumes the regex scan
+// that used to live here: rawadvance is the AST-level version of the
+// old raw Clock.Advance/AdvanceBytes check, and the suite adds the
+// no-host-time/no-host-randomness and no-map-order-output rules for
+// the simulation core.
+func TestLintClean(t *testing.T) {
+	findings, err := lint.Run(".", lint.Analyzers())
 	if err != nil {
-		t.Fatalf("walking source tree: %v", err)
+		t.Fatalf("lint.Run: %v", err)
 	}
-	if len(offenders) > 0 {
-		t.Errorf("raw Clock.Advance/AdvanceBytes calls in non-test code "+
-			"(use Clock.Charge/ChargeBytes with a cost tag):\n  %s",
-			strings.Join(offenders, "\n  "))
+	if len(findings) > 0 {
+		msgs := make([]string, len(findings))
+		for i, f := range findings {
+			msgs[i] = f.String()
+		}
+		t.Errorf("vglint findings (run `go run ./cmd/vglint` to reproduce):\n  %s",
+			strings.Join(msgs, "\n  "))
 	}
 }

@@ -34,6 +34,7 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution under Table 2/3/4")
 	traceOut := flag.String("trace", "", "record tagged charge events and write a Chrome trace_event JSON file at exit")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
+	elideFlag := flag.String("elide", "on", "elide host work of proven-redundant checks: on|off (virtual numbers identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -55,6 +56,13 @@ func main() {
 		os.Exit(2)
 	}
 	kernel.SetDefaultEngine(eng)
+
+	elide, err := kernel.ParseElide(*elideFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kernel.SetDefaultElision(elide)
 
 	var tracer *hw.Tracer
 	if *traceOut != "" {
@@ -275,6 +283,26 @@ func main() {
 		}
 		record("cpu_scaling_ghost_httpd", ns, allocs, ab, metrics)
 	}
+	if run("elide") {
+		var rep experiments.ElisionReport
+		ns, allocs, ab := timed(func() { rep = experiments.CheckElision(sc.PostmarkTxns) })
+		fmt.Println(experiments.FormatElision(rep))
+		metrics := map[string]float64{
+			"masks_elided":   float64(rep.MasksElided),
+			"cfi_elided":     float64(rep.CFIElided),
+			"host_speedup_x": rep.HostSpeedup(),
+		}
+		if rep.Enabled {
+			metrics["enabled"] = 1
+		} else {
+			metrics["enabled"] = 0
+		}
+		for name, c := range rep.Modules {
+			metrics[name+"/masks_proven"] = float64(c.Masks)
+			metrics[name+"/cfi_proven"] = float64(c.CFIs)
+		}
+		record("check_elision", ns, allocs, ab, metrics)
+	}
 	if *jsonOut {
 		path := "BENCH_" + report.Date + ".json"
 		if err := experiments.WriteBenchJSON(path, report); err != nil {
@@ -318,7 +346,7 @@ func main() {
 }
 
 // experimentNames are the valid -only values, in run order.
-var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu"}
+var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide"}
 
 var validExperiments = func() map[string]bool {
 	m := make(map[string]bool, len(experimentNames))

@@ -27,6 +27,7 @@ func main() {
 	cpus := flag.Int("cpus", 1, "number of simulated CPUs")
 	hostpar := flag.Bool("hostpar", false, "run epoch user phases on concurrent host goroutines (needs -cpus > 1; identical results, less wall-clock)")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
+	elideFlag := flag.String("elide", "on", "elide host work of proven-redundant checks: on|off (virtual numbers identical either way)")
 	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution and the per-syscall profile")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of tagged charges")
 	flag.Parse()
@@ -43,6 +44,13 @@ func main() {
 		os.Exit(2)
 	}
 	kernel.SetDefaultEngine(eng)
+
+	elide, err := kernel.ParseElide(*elideFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kernel.SetDefaultElision(elide)
 
 	var tracer *hw.Tracer
 	if *traceOut != "" {

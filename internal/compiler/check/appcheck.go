@@ -14,12 +14,13 @@ import (
 // memory through it — this checks that compiler.MmapMaskPass (or
 // hand-written equivalent code) actually closed the window.
 //
-// The analysis is a may-be-raw taint fixpoint: the result of a call to
-// any symbol in mmapSyms is raw; OpMaskGhost cleans; OpMov and
-// arithmetic propagate taint (pointer arithmetic on a raw mmap result
-// is still a raw pointer); OpSelect joins its two data operands;
-// comparisons and unrelated definitions are clean. Dereferencing a
-// possibly-raw address on any path is reported as unmasked-mmap-deref.
+// The analysis is a may-be-raw taint fixpoint on the forward-dataflow
+// framework: the result of a call to any symbol in mmapSyms is raw;
+// OpMaskGhost cleans; OpMov and arithmetic propagate taint (pointer
+// arithmetic on a raw mmap result is still a raw pointer); OpSelect
+// joins its two data operands; comparisons and unrelated definitions
+// are clean. Dereferencing a possibly-raw address on any path is
+// reported as unmasked-mmap-deref.
 //
 // mmapSyms defaults to {"mmap"}, matching MmapMaskPass.
 func CheckMmapMasked(f *vir.Function, mmapSyms ...string) []Diagnostic {
@@ -29,116 +30,86 @@ func CheckMmapMasked(f *vir.Function, mmapSyms ...string) []Diagnostic {
 	if len(mmapSyms) == 0 {
 		mmapSyms = []string{"mmap"}
 	}
-	isMmap := make(map[string]bool, len(mmapSyms))
+	a := taintAnalysis{isMmap: make(map[string]bool, len(mmapSyms))}
 	for _, s := range mmapSyms {
-		isMmap[s] = true
+		a.isMmap[s] = true
 	}
 
-	index := make(map[string]int, len(f.Blocks))
-	for i, b := range f.Blocks {
-		index[b.Name] = i
-	}
-
-	// taint[r] == true: register r may hold a raw (unmasked) mmap
-	// result. Join at CFG merges is OR.
-	type taints []bool
-	cloneT := func(t taints) taints {
-		out := make(taints, len(t))
-		copy(out, t)
-		return out
-	}
-	joinInto := func(dst, src taints) bool {
-		changed := false
-		for i, v := range src {
-			if v && !dst[i] {
-				dst[i] = true
-				changed = true
-			}
-		}
-		return changed
-	}
-	val := func(t taints, v vir.Value) bool {
-		return !v.IsImm && t[v.Reg]
-	}
-	transfer := func(t taints, in vir.Instr) {
-		switch in.Op {
-		case vir.OpCall:
-			t[in.Dst] = isMmap[in.Sym]
-		case vir.OpMaskGhost:
-			t[in.Dst] = false
-		case vir.OpMov:
-			t[in.Dst] = val(t, in.A)
-		case vir.OpSelect:
-			t[in.Dst] = val(t, in.B) || val(t, in.C)
-		case vir.OpAdd, vir.OpSub, vir.OpMul, vir.OpAnd, vir.OpOr,
-			vir.OpXor, vir.OpShl, vir.OpShr:
-			t[in.Dst] = val(t, in.A) || val(t, in.B)
-		default:
-			if writesDst(in.Op) {
-				t[in.Dst] = false
-			}
-		}
-	}
-
-	inStates := make([]taints, len(f.Blocks))
-	inStates[0] = make(taints, f.NRegs)
-	work := []int{0}
-	onWork := make([]bool, len(f.Blocks))
-	onWork[0] = true
-	for len(work) > 0 {
-		bi := work[len(work)-1]
-		work = work[:len(work)-1]
-		onWork[bi] = false
-		out := cloneT(inStates[bi])
-		for _, in := range f.Blocks[bi].Instrs {
-			transfer(out, in)
-		}
-		last := f.Blocks[bi].Instrs[len(f.Blocks[bi].Instrs)-1]
-		for _, succ := range successors(last) {
-			si, ok := index[succ]
-			if !ok {
-				continue
-			}
-			if inStates[si] == nil {
-				inStates[si] = cloneT(out)
-			} else if !joinInto(inStates[si], out) {
-				continue
-			}
-			if !onWork[si] {
-				onWork[si] = true
-				work = append(work, si)
-			}
-		}
-	}
-
+	fx := Run[taints](f, a)
 	var diags []Diagnostic
-	for bi, b := range f.Blocks {
-		st := inStates[bi]
-		if st == nil {
-			st = make(taints, f.NRegs) // unreached: nothing tainted yet
+	fx.Replay(func(_ int, b *vir.Block, i int, in vir.Instr, st taints) {
+		deref := func(v vir.Value, what string) {
+			if taintVal(st, v) {
+				diags = append(diags, Diagnostic{Fn: f.Name, Block: b.Name, Idx: i,
+					Code: CodeMmapDeref,
+					Msg:  fmt.Sprintf("%s address %v may be a raw mmap result (mask it before first dereference)", what, v)})
+			}
 		}
-		st = cloneT(st)
-		for i, in := range b.Instrs {
-			deref := func(v vir.Value, what string) {
-				if val(st, v) {
-					diags = append(diags, Diagnostic{Fn: f.Name, Block: b.Name, Idx: i,
-						Code: CodeMmapDeref,
-						Msg:  fmt.Sprintf("%s address %v may be a raw mmap result (mask it before first dereference)", what, v)})
-				}
-			}
-			switch in.Op {
-			case vir.OpLoad:
-				deref(in.A, "load")
-			case vir.OpStore:
-				deref(in.A, "store")
-			case vir.OpMemcpy:
-				deref(in.A, "memcpy destination")
-				deref(in.B, "memcpy source")
-			}
-			transfer(st, in)
+		switch in.Op {
+		case vir.OpLoad:
+			deref(in.A, "load")
+		case vir.OpStore:
+			deref(in.A, "store")
+		case vir.OpMemcpy:
+			deref(in.A, "memcpy destination")
+			deref(in.B, "memcpy source")
+		}
+	})
+	return diags
+}
+
+// taints is the may-be-raw lattice: taint[r] == true means register r
+// may hold a raw (unmasked) mmap result. Join at CFG merges is OR.
+type taints []bool
+
+func taintVal(t taints, v vir.Value) bool {
+	return !v.IsImm && t[v.Reg]
+}
+
+// taintAnalysis plugs the mmap-taint lattice into the framework.
+type taintAnalysis struct {
+	isMmap map[string]bool
+}
+
+func (taintAnalysis) Entry(f *vir.Function) taints {
+	return make(taints, f.NRegs) // nothing tainted yet
+}
+
+func (taintAnalysis) Clone(t taints) taints {
+	out := make(taints, len(t))
+	copy(out, t)
+	return out
+}
+
+func (taintAnalysis) Join(dst, src taints) (taints, bool) {
+	changed := false
+	for i, v := range src {
+		if v && !dst[i] {
+			dst[i] = true
+			changed = true
 		}
 	}
-	return diags
+	return dst, changed
+}
+
+func (a taintAnalysis) Transfer(t taints, in vir.Instr) {
+	switch in.Op {
+	case vir.OpCall:
+		t[in.Dst] = a.isMmap[in.Sym]
+	case vir.OpMaskGhost:
+		t[in.Dst] = false
+	case vir.OpMov:
+		t[in.Dst] = taintVal(t, in.A)
+	case vir.OpSelect:
+		t[in.Dst] = taintVal(t, in.B) || taintVal(t, in.C)
+	case vir.OpAdd, vir.OpSub, vir.OpMul, vir.OpAnd, vir.OpOr,
+		vir.OpXor, vir.OpShl, vir.OpShr:
+		t[in.Dst] = taintVal(t, in.A) || taintVal(t, in.B)
+	default:
+		if writesDst(in.Op) {
+			t[in.Dst] = false
+		}
+	}
 }
 
 // CheckMmapMaskedModule runs CheckMmapMasked over every function.

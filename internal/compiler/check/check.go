@@ -30,6 +30,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/vir"
@@ -91,8 +92,11 @@ func AllowList(names ...string) func(string) bool {
 	return func(s string) bool { return set[s] }
 }
 
-// CheckModule verifies every function and returns all violations found,
-// in deterministic (definition) order. An empty slice means the module
+// CheckModule verifies every function and returns all violations
+// found, sorted by (function, block, index) — program order within a
+// block, lexical order across blocks and functions — so vircheck
+// output and golden diagnostic files are deterministic regardless of
+// which sub-checker found what first. An empty slice means the module
 // is admissible under cfg.
 func CheckModule(m *vir.Module, cfg Config) []Diagnostic {
 	defined := make(map[string]bool, len(m.Funcs))
@@ -103,7 +107,26 @@ func CheckModule(m *vir.Module, cfg Config) []Diagnostic {
 	for _, f := range m.Funcs {
 		diags = append(diags, CheckFunction(f, defined, cfg)...)
 	}
+	SortDiagnostics(diags)
 	return diags
+}
+
+// SortDiagnostics orders diagnostics by (function, block, index), with
+// the stable code as a final tiebreak for co-located violations.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Idx != b.Idx {
+			return a.Idx < b.Idx
+		}
+		return a.Code < b.Code
+	})
 }
 
 // CheckFunction verifies one function. defined names the symbols that

@@ -1,0 +1,256 @@
+package check
+
+import (
+	"repro/internal/vir"
+)
+
+// This file turns the admission checker from a judge into a prover:
+// beyond refusing code that lacks the sandbox/CFI invariants, it finds
+// instrumentation sites that are provably *redundant* and emits
+// vir.CheckProofs certificates the pre-linked engine consumes for
+// link-time host-work elision (DESIGN.md §15). Two analyses run on the
+// forward-dataflow framework (dataflow.go):
+//
+//  1. Mask availability: at each OpMaskGhost, which registers already
+//     hold MaskAddress(current value of the mask's input) on all
+//     incoming paths. MaskAddress is idempotent — masking an
+//     already-masked value is the identity — so the result of any
+//     maskghost is its own mask, and a proven site can be lowered to a
+//     register copy.
+//  2. Dominating CFI checks: at each OpCFICallInd, whether the target
+//     register's current value already passed the same CFI target
+//     check on all incoming paths. cfiCheck is a pure predicate of the
+//     target value and the code-space bindings; the pre-linked engine
+//     already holds bindings fixed for in-flight frames (direct
+//     callees are resolved at link time, the epoch is only consulted
+//     at Call entry), so "the same value passed once" implies a
+//     re-check cannot observably differ.
+//
+// Both analyses are per-function and intraprocedural; facts never
+// cross call boundaries through registers because callees run in their
+// own frames (a call only clobbers its destination register, which the
+// transfer functions kill).
+
+// ---------------------------------------------------------------------
+// Mask availability.
+// ---------------------------------------------------------------------
+
+// maskPair is one availability fact: regs[holder] == MaskAddress of
+// the *current* value of regs[src]. The self pair (r, r) means
+// regs[r] is a fixed point of MaskAddress (already masked).
+type maskPair struct {
+	src, holder int
+}
+
+// maskPairs is the availability state: the set of pairs that hold on
+// every path to the current program point. Join is set intersection —
+// a fact survives a merge only when every predecessor established it.
+// Using a *set of pairs* rather than a per-source holder keeps loop
+// facts alive: the entry path may establish holder h for source s and
+// the back edge a second holder h'; the intersection keeps h, so the
+// in-loop mask of s stays provably redundant.
+type maskPairs map[maskPair]struct{}
+
+func killMaskReg(st maskPairs, r int) {
+	for p := range st {
+		if p.src == r || p.holder == r {
+			delete(st, p)
+		}
+	}
+}
+
+// availAnalysis plugs mask availability into the framework.
+type availAnalysis struct{}
+
+func (availAnalysis) Entry(*vir.Function) maskPairs { return make(maskPairs) }
+
+func (availAnalysis) Clone(s maskPairs) maskPairs {
+	out := make(maskPairs, len(s))
+	for p := range s {
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+func (availAnalysis) Join(dst, src maskPairs) (maskPairs, bool) {
+	changed := false
+	for p := range dst {
+		if _, ok := src[p]; !ok {
+			delete(dst, p)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (availAnalysis) Transfer(st maskPairs, in vir.Instr) {
+	switch {
+	case in.Op == vir.OpMaskGhost:
+		d := in.Dst
+		src := -1
+		if !in.A.IsImm && in.A.Reg != d {
+			src = in.A.Reg
+		}
+		killMaskReg(st, d)
+		if src >= 0 {
+			st[maskPair{src, d}] = struct{}{}
+		}
+		// Idempotence: the result is a fixed point of MaskAddress,
+		// hence its own mask.
+		st[maskPair{d, d}] = struct{}{}
+	case in.Op == vir.OpMov:
+		d := in.Dst
+		if in.A.IsImm {
+			killMaskReg(st, d)
+			return
+		}
+		s := in.A.Reg
+		if s == d {
+			return
+		}
+		killMaskReg(st, d)
+		// regs[d] becomes a copy of regs[s]: every fact about s's
+		// value transfers. (s, s) implies (d, d) — same value, same
+		// fixed point.
+		var add []maskPair
+		for p := range st {
+			if p.src == s {
+				add = append(add, maskPair{d, p.holder})
+			}
+			if p.holder == s {
+				add = append(add, maskPair{p.src, d})
+			}
+			if p.src == s && p.holder == s {
+				add = append(add, maskPair{d, d})
+			}
+		}
+		for _, p := range add {
+			st[p] = struct{}{}
+		}
+	case writesDst(in.Op):
+		killMaskReg(st, in.Dst)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Dominating CFI checks.
+// ---------------------------------------------------------------------
+
+// checkedRegs is the dominating-check state: the set of registers
+// whose current value has passed cfiCheck on every path to the current
+// program point. Join is set intersection.
+type checkedRegs map[int]struct{}
+
+// cfiAnalysis plugs dominated-check discovery into the framework. An
+// OpCFICallInd generates its target register (on the fall-through path
+// the check passed — a failed check stops execution and has no onward
+// path); any redefinition kills; OpMov propagates the fact with the
+// value.
+type cfiAnalysis struct{}
+
+func (cfiAnalysis) Entry(*vir.Function) checkedRegs { return make(checkedRegs) }
+
+func (cfiAnalysis) Clone(s checkedRegs) checkedRegs {
+	out := make(checkedRegs, len(s))
+	for r := range s {
+		out[r] = struct{}{}
+	}
+	return out
+}
+
+func (cfiAnalysis) Join(dst, src checkedRegs) (checkedRegs, bool) {
+	changed := false
+	for r := range dst {
+		if _, ok := src[r]; !ok {
+			delete(dst, r)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (cfiAnalysis) Transfer(st checkedRegs, in vir.Instr) {
+	switch {
+	case in.Op == vir.OpCFICallInd:
+		if !in.A.IsImm {
+			st[in.A.Reg] = struct{}{}
+		}
+		// The destination register is defined by the call's return
+		// value — killed after the gen so a target register that is
+		// also the destination does not survive.
+		delete(st, in.Dst)
+	case in.Op == vir.OpMov:
+		delete(st, in.Dst)
+		if !in.A.IsImm {
+			if _, ok := st[in.A.Reg]; ok {
+				st[in.Dst] = struct{}{}
+			}
+		}
+	case writesDst(in.Op):
+		delete(st, in.Dst)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Proof extraction.
+// ---------------------------------------------------------------------
+
+// ProveFunction runs the availability and dominating-check analyses
+// over f and returns the elision certificate, or nil when no site is
+// provably redundant. The certificate is keyed to f's exact
+// instruction stream; transforming f invalidates it.
+func ProveFunction(f *vir.Function) *vir.CheckProofs {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	proofs := &vir.CheckProofs{}
+
+	avail := Run[maskPairs](f, availAnalysis{})
+	avail.Replay(func(_ int, b *vir.Block, i int, in vir.Instr, st maskPairs) {
+		if in.Op != vir.OpMaskGhost || in.A.IsImm {
+			return
+		}
+		// Deterministic choice among provable holders: the smallest
+		// register number.
+		best := -1
+		for p := range st {
+			if p.src == in.A.Reg && (best < 0 || p.holder < best) {
+				best = p.holder
+			}
+		}
+		if best >= 0 {
+			proofs.AddMask(b.Name, i, best)
+		}
+	})
+
+	dom := Run[checkedRegs](f, cfiAnalysis{})
+	dom.Replay(func(_ int, b *vir.Block, i int, in vir.Instr, st checkedRegs) {
+		if in.Op != vir.OpCFICallInd || in.A.IsImm {
+			return
+		}
+		if _, ok := st[in.A.Reg]; ok {
+			proofs.AddCFIDominated(b.Name, i)
+		}
+	})
+
+	if proofs.Empty() {
+		return nil
+	}
+	return proofs
+}
+
+// ProveModule computes and *attaches* elision certificates for every
+// function of m (setting Function.Proofs), returning the per-function
+// map for reporting. Call it only on code that passed admission: the
+// engine trusts certificates exactly as far as the checker's
+// invariants hold.
+func ProveModule(m *vir.Module) map[string]*vir.CheckProofs {
+	out := make(map[string]*vir.CheckProofs)
+	for _, f := range m.Funcs {
+		if p := ProveFunction(f); p != nil {
+			f.Proofs = p
+			out[f.Name] = p
+		}
+	}
+	return out
+}

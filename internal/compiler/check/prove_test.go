@@ -1,0 +1,298 @@
+package check
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/vir"
+)
+
+// TestProveRedundantCorpus pins the prover's output on the
+// redundancy-heavy corpus to exact sites: which maskghost/cfi.callind
+// instructions are proven, and which register each proven mask copies
+// from. The negative functions (diamond_kill_arm, cfi_clobber, the cfi
+// targets) must yield no certificate at all.
+func TestProveRedundantCorpus(t *testing.T) {
+	m := loadCorpus(t, "redundant.vir")
+	if diags := CheckModule(m, Config{Label: 0xCF1}); len(diags) != 0 {
+		t.Fatalf("redundant.vir should be admissible, got %v", diags)
+	}
+	proofs := ProveModule(m)
+
+	type site struct {
+		block    string
+		idx      int
+		copyFrom int
+	}
+	wantMasks := map[string][]site{
+		// In-loop re-masks of the invariant pointer: the first mask of
+		// each iteration is not proven (the loop-header join with the
+		// unmasked entry path clears the facts), the later two are.
+		"loop_mask": {{"body", 2, 4}, {"body", 4, 4}},
+		// Both arms reach the merge with a live masked copy (skip keeps
+		// the entry mask, rechk re-masks), so the merge mask is proven —
+		// and rechk's own re-mask is itself dominated by the entry mask.
+		"diamond_one_arm": {{"rechk", 0, 2}, {"merge", 0, 2}},
+		// The availability pair survives an intervening call: callees
+		// run in their own frames, only the return register is killed.
+		"call_preserves": {{"entry", 4, 1}},
+	}
+	wantCFIs := map[string][]site{
+		// Second indirect call through the unchanged target register.
+		"cfi_twice": {{"entry", 3, 0}},
+	}
+
+	for fn, sites := range wantMasks {
+		p := proofs[fn]
+		if p == nil {
+			t.Fatalf("%s: no proofs", fn)
+		}
+		gotMasks, _ := p.Counts()
+		if gotMasks != len(sites) {
+			t.Errorf("%s: %d mask proofs, want %d", fn, gotMasks, len(sites))
+		}
+		for _, s := range sites {
+			mp, ok := p.MaskAt(s.block, s.idx)
+			if !ok {
+				t.Errorf("%s: no mask proof at %s[%d]", fn, s.block, s.idx)
+			} else if mp.CopyFrom != s.copyFrom {
+				t.Errorf("%s %s[%d]: CopyFrom = %%r%d, want %%r%d",
+					fn, s.block, s.idx, mp.CopyFrom, s.copyFrom)
+			}
+		}
+	}
+	for fn, sites := range wantCFIs {
+		p := proofs[fn]
+		if p == nil {
+			t.Fatalf("%s: no proofs", fn)
+		}
+		_, gotCFIs := p.Counts()
+		if gotCFIs != len(sites) {
+			t.Errorf("%s: %d CFI proofs, want %d", fn, gotCFIs, len(sites))
+		}
+		for _, s := range sites {
+			if !p.CFIDominatedAt(s.block, s.idx) {
+				t.Errorf("%s: no CFI proof at %s[%d]", fn, s.block, s.idx)
+			}
+		}
+	}
+	for _, fn := range []string{"diamond_kill_arm", "cfi_clobber", "cfi_target", "cfi_target2"} {
+		if p, ok := proofs[fn]; ok {
+			t.Errorf("%s: unexpected proofs %+v", fn, p)
+		}
+	}
+}
+
+// TestProveCleanNoProofs: the fully instrumented but non-redundant
+// corpus yields no certificates — the prover must not "find" redundancy
+// where each mask covers a distinct value.
+func TestProveCleanNoProofs(t *testing.T) {
+	m := loadCorpus(t, "clean.vir")
+	if proofs := ProveModule(m); len(proofs) != 0 {
+		t.Errorf("clean.vir proofs = %v, want none", proofs)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Elision differential: linked engine with proofs attached vs the
+// reference interpreter (which ignores proofs entirely). The contract
+// is the engine's usual observational equivalence — same return, same
+// error strings, bit-identical clock, same memory/port state — now
+// with the elided fast paths actually exercised.
+// ---------------------------------------------------------------------
+
+// elideEnv is a minimal vir.Env over a sparse byte map, mirroring the
+// vir package's internal test env (which is unexported).
+type elideEnv struct {
+	mem      map[hw.Virt]byte
+	clock    *hw.Clock
+	funcs    map[string]*vir.Function
+	addrs    map[uint64]*vir.Function
+	revAddrs map[string]uint64
+	nextAddr uint64
+	ports    map[uint16]uint64
+}
+
+func newElideEnv() *elideEnv {
+	return &elideEnv{
+		mem:      make(map[hw.Virt]byte),
+		clock:    &hw.Clock{},
+		funcs:    make(map[string]*vir.Function),
+		addrs:    make(map[uint64]*vir.Function),
+		revAddrs: make(map[string]uint64),
+		nextAddr: 0xffffffc000000000,
+		ports:    make(map[uint16]uint64),
+	}
+}
+
+func (e *elideEnv) addFunc(f *vir.Function) {
+	a := e.nextAddr
+	e.nextAddr += 0x1000
+	e.funcs[f.Name] = f
+	e.addrs[a] = f
+	e.revAddrs[f.Name] = a
+}
+
+func (e *elideEnv) Load(addr hw.Virt, size int) (uint64, error) {
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(e.mem[addr+hw.Virt(i)])
+	}
+	return v, nil
+}
+
+func (e *elideEnv) Store(addr hw.Virt, size int, v uint64) error {
+	for i := 0; i < size; i++ {
+		e.mem[addr+hw.Virt(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+func (e *elideEnv) Memcpy(dst, src hw.Virt, n int) error {
+	if n > 1<<16 {
+		return errors.New("memcpy too large for test env")
+	}
+	for i := 0; i < n; i++ {
+		e.mem[dst+hw.Virt(i)] = e.mem[src+hw.Virt(i)]
+	}
+	return nil
+}
+
+func (e *elideEnv) Intrinsic(name string, args []uint64) (uint64, error) {
+	return 0, errors.New("unknown intrinsic " + name)
+}
+
+func (e *elideEnv) FuncByAddr(addr uint64) (*vir.Function, bool) {
+	f, ok := e.addrs[addr]
+	return f, ok
+}
+
+func (e *elideEnv) FuncAddr(name string) (uint64, bool) {
+	a, ok := e.revAddrs[name]
+	return a, ok
+}
+
+func (e *elideEnv) InKernelCode(addr uint64) bool {
+	return addr >= 0xffffffc000000000 && addr < 0xffffffd000000000
+}
+
+func (e *elideEnv) PortIn(port uint16) (uint64, error)  { return e.ports[port], nil }
+func (e *elideEnv) PortOut(port uint16, v uint64) error { e.ports[port] = v; return nil }
+func (e *elideEnv) Clock() *hw.Clock                    { return e.clock }
+
+// diffModule runs every function of m (proofs attached) under both
+// executors and fails on any observable divergence. maxSteps bounds
+// runaway fuzz inputs; 0 keeps the defaults. Returns the engine's
+// elision tallies so callers can assert the fast paths really ran.
+func diffModule(t *testing.T, m *vir.Module, maxSteps int) (masksElided, cfiElided uint64) {
+	t.Helper()
+	ProveModule(m)
+	for _, fn := range m.Funcs {
+		// Parsed corpus functions carry the label instruction but not
+		// the translator's Labeled flag; set it so indirect calls pass
+		// the run-time CFI check in both executors.
+		fn.Labeled = true
+	}
+
+	eng := vir.NewEngine()
+	for _, fn := range m.Funcs {
+		if fn.NParams > 2 {
+			continue
+		}
+		args := []uint64{0x2000, 5}[:fn.NParams]
+
+		refEnv := newElideEnv()
+		for _, g := range m.Funcs {
+			refEnv.addFunc(g)
+		}
+		ip := vir.NewInterp(refEnv)
+		if maxSteps > 0 {
+			ip.MaxSteps = maxSteps
+		}
+		rv, rerr := ip.Call(fn, args...)
+
+		engEnv := newElideEnv()
+		for _, g := range m.Funcs {
+			engEnv.addFunc(g)
+		}
+		if maxSteps > 0 {
+			eng.MaxSteps = maxSteps
+		}
+		ev, eerr := eng.Call(engEnv, fn, args...)
+
+		if ev != rv {
+			t.Errorf("%s: return mismatch: engine %#x, reference %#x", fn.Name, ev, rv)
+		}
+		refErr, engErr := "", ""
+		if rerr != nil {
+			refErr = rerr.Error()
+		}
+		if eerr != nil {
+			engErr = eerr.Error()
+		}
+		if engErr != refErr {
+			t.Errorf("%s: error mismatch:\n  engine:    %q\n  reference: %q", fn.Name, engErr, refErr)
+		}
+		if errors.Is(eerr, vir.ErrStepLimit) != errors.Is(rerr, vir.ErrStepLimit) {
+			t.Errorf("%s: ErrStepLimit identity mismatch: engine %v, reference %v", fn.Name, eerr, rerr)
+		}
+		if ec, rc := engEnv.clock.Cycles(), refEnv.clock.Cycles(); ec != rc {
+			t.Errorf("%s: clock mismatch: engine %d cycles, reference %d", fn.Name, ec, rc)
+		}
+		if !reflect.DeepEqual(engEnv.mem, refEnv.mem) {
+			t.Errorf("%s: memory state mismatch: engine %v, reference %v", fn.Name, engEnv.mem, refEnv.mem)
+		}
+		if !reflect.DeepEqual(engEnv.ports, refEnv.ports) {
+			t.Errorf("%s: port state mismatch: engine %v, reference %v", fn.Name, engEnv.ports, refEnv.ports)
+		}
+	}
+	st := eng.Elision()
+	return st.MasksElided, st.CFIElided
+}
+
+// TestElisionDifferential runs the admissible corpus files with proofs
+// attached and elision on, and asserts (a) observational equivalence
+// with the reference interpreter and (b) that the redundancy corpus
+// actually drove the engine through elided lowerings.
+func TestElisionDifferential(t *testing.T) {
+	masks, cfis := diffModule(t, loadCorpus(t, "redundant.vir"), 0)
+	if masks == 0 || cfis == 0 {
+		t.Errorf("redundant.vir elided masks=%d cfis=%d, want both > 0", masks, cfis)
+	}
+	if m, c := diffModule(t, loadCorpus(t, "clean.vir"), 0); m != 0 || c != 0 {
+		t.Errorf("clean.vir elided masks=%d cfis=%d, want none", m, c)
+	}
+}
+
+// FuzzElisionDifferential feeds arbitrary parsed modules through
+// prove-then-elide and cross-checks the engine against the reference
+// interpreter. This is the soundness fuzzer for the prover itself: a
+// wrong certificate shows up as an observable divergence.
+func FuzzElisionDifferential(f *testing.F) {
+	for _, name := range []string{"redundant.vir", "clean.vir", "launder_mov.vir"} {
+		text, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(text))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := vir.ParseModule(src)
+		if err != nil {
+			t.Skip()
+		}
+		if err := vir.VerifyModule(m); err != nil {
+			t.Skip()
+		}
+		for _, fn := range m.Funcs {
+			if fn.NRegs > 1<<12 {
+				t.Skip()
+			}
+		}
+		diffModule(t, m, 4096)
+	})
+}

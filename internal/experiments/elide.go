@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/vir"
+)
+
+// elideDemoSource is a deliberately redundancy-heavy module: the loop
+// body touches the same pointer three times (so the sandbox pass emits
+// three maskghost sites of which the checker proves two already
+// masked), and twice() makes two indirect calls through the same
+// register (the second CFI check is dominated by the first). It is the
+// elision report's measurement subject — kernel modules written by the
+// paper's instrumentation pipeline rarely re-check, so a synthetic hot
+// loop is what makes the on/off host-time difference visible.
+const elideDemoSource = `module elidedemo
+func hotstore(2 params) {
+entry:
+  %r2 = mov 0x0
+  br loop
+loop:
+  %r3 = cmplt %r2, %r1
+  condbr %r3, body, done
+body:
+  store8 [%r0], %r2
+  %r4 = load8 [%r0]
+  store8 [%r0], %r4
+  %r5 = add %r2, 0x1
+  %r2 = mov %r5
+  br loop
+done:
+  %r6 = load8 [%r0]
+  ret %r6
+}
+func helper(1 params) {
+entry:
+  %r1 = add %r0, 0x1
+  ret %r1
+}
+func twice(1 params) {
+entry:
+  %r1 = funcaddr helper
+  %r2 = callind %r1(%r0)
+  %r3 = callind %r1(%r2)
+  ret %r3
+}
+`
+
+// elideDemoSlot is the kernel-space address the demo loop hammers.
+const elideDemoSlot uint64 = 0xffffff8000001000
+
+// ElisionReport is the result of the check-elision measurement: what
+// translation proved per module, what the linker elided, and the host
+// cost of the same workload with elision on vs off. The virtual cycle
+// cost is recorded once because it is asserted identical in both modes
+// — CheckElision panics otherwise, so every vgbench -json run re-proves
+// the bit-identical-numbers contract.
+type ElisionReport struct {
+	Enabled bool
+	Modules map[string]kernel.ProofCounts
+	// Cumulative linker tallies after both passes (relinking after the
+	// elision flip re-counts, so these track lowered sites, not distinct
+	// static sites).
+	MasksElided uint64
+	CFIElided   uint64
+	HostOnNs    int64  // host ns for the workload, elision on
+	HostOffNs   int64  // host ns for the workload, elision off
+	Cycles      uint64 // virtual cycles per pass (identical on/off)
+}
+
+// HostSpeedup returns off/on host time (>1 means elision helped).
+func (r ElisionReport) HostSpeedup() float64 {
+	if r.HostOnNs == 0 {
+		return 0
+	}
+	return float64(r.HostOffNs) / float64(r.HostOnNs)
+}
+
+// CheckElision boots a Virtual Ghost system, loads the redundancy-heavy
+// demo module, and runs the same hot loop with check elision on and
+// off, verifying the virtual cycle count is bit-identical in both modes
+// and reporting per-module proof counts plus host timings. iters scales
+// the loop (vgbench passes its usual quick/full scale).
+func CheckElision(iters int) ElisionReport {
+	sys := newSystem(repro.VirtualGhost)
+	k := sys.Kernel
+	m, err := vir.ParseModule(elideDemoSource)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: elide demo source: %v", err))
+	}
+	mod, err := k.LoadModule(m)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: elide demo load: %v", err))
+	}
+
+	workload := func() uint64 {
+		c0 := k.M.Clock.Cycles()
+		if _, err := k.RunModuleFunc(mod, "hotstore", elideDemoSlot, uint64(iters)); err != nil {
+			panic(fmt.Sprintf("experiments: elide demo hotstore: %v", err))
+		}
+		if _, err := k.RunModuleFunc(mod, "twice", 1); err != nil {
+			panic(fmt.Sprintf("experiments: elide demo twice: %v", err))
+		}
+		return k.M.Clock.Cycles() - c0
+	}
+
+	rep := ElisionReport{Enabled: kernel.DefaultElision()}
+	k.SetElision(true)
+	workload() // untimed: link the module and warm the engine caches
+	start := time.Now()
+	onCycles := workload()
+	rep.HostOnNs = time.Since(start).Nanoseconds()
+
+	k.SetElision(false)
+	workload() // untimed: relink without elision
+	start = time.Now()
+	offCycles := workload()
+	rep.HostOffNs = time.Since(start).Nanoseconds()
+	if onCycles != offCycles {
+		panic(fmt.Sprintf("experiments: elision changed virtual cycles: on=%d off=%d", onCycles, offCycles))
+	}
+	rep.Cycles = onCycles
+
+	// Restore the session default before reading the tallies so Enabled
+	// reflects the flag the rest of the run honours.
+	k.SetElision(kernel.DefaultElision())
+	rep.Modules = k.ModuleProofs()
+	st := k.ElisionStats()
+	rep.MasksElided = st.MasksElided
+	rep.CFIElided = st.CFIElided
+	return rep
+}
+
+// FormatElision renders the elision report for the console.
+func FormatElision(r ElisionReport) string {
+	out := "Check elision (proof-carrying host-work elision; virtual numbers identical on/off)\n"
+	out += fmt.Sprintf("  enabled=%v  masks_elided=%d  cfi_elided=%d\n", r.Enabled, r.MasksElided, r.CFIElided)
+	names := make([]string, 0, len(r.Modules))
+	for name := range r.Modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := r.Modules[name]
+		out += fmt.Sprintf("  module %-12s masks_proven=%d cfi_proven=%d\n", name, c.Masks, c.CFIs)
+	}
+	out += fmt.Sprintf("  workload: %d virtual cycles; host %d ns (on) vs %d ns (off), %.2fx\n",
+		r.Cycles, r.HostOnNs, r.HostOffNs, r.HostSpeedup())
+	return out
+}

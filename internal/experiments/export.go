@@ -125,7 +125,9 @@ type BenchEntry struct {
 //
 // v1 (implicit, reports without the field): date/scale/num_cpus/experiments.
 // v2: adds schema_version and optional per-entry breakdown maps.
-const BenchSchemaVersion = 2
+// v3: adds the check_elision entry (per-module masks_proven/cfi_proven
+// metrics, global masks_elided/cfi_elided/enabled/host_speedup_x).
+const BenchSchemaVersion = 3
 
 // BenchReport is the cross-PR perf trajectory record written by
 // `vgbench -json` as BENCH_<date>.json.

@@ -149,6 +149,13 @@ type Kernel struct {
 	refInterps map[vir.Env]*vir.Interp
 	modEnvs    map[hw.Frame]vir.Env
 
+	// moduleProofs records, per admitted module, how many mask/CFI
+	// instrumentation sites the admission checker proved redundant
+	// (see internal/compiler/check prove.go). The linked engine elides
+	// the host work of proven sites; the counts feed vgbench's BENCH
+	// elision report.
+	moduleProofs map[string]ProofCounts
+
 	// intrinsics is the kernel-service linkage table for module code,
 	// built once at boot (see modintr.go).
 	intrinsics map[string]IntrinsicHandler
@@ -237,6 +244,87 @@ func SetDefaultHostParallel(on bool) bool {
 // next Boot will use on a multi-CPU machine).
 func DefaultHostParallel() bool { return defaultHostParallel }
 
+// defaultElision is the proof-carrying check-elision setting new
+// kernels boot with. On by default: elision changes host work only —
+// every virtual number is bit-identical either way (the charges of a
+// proven-redundant site are still modeled).
+var defaultElision = true
+
+// SetDefaultElision changes whether subsequently booted kernels' linked
+// engines elide instrumentation sites the admission checker proved
+// redundant, and returns the previous default. cmd/vgrun and
+// cmd/vgbench use it to honour their -elide flag; off is the bisection
+// escape hatch when a host-speed regression needs to be attributed to
+// (or exonerated from) the optimizer.
+func SetDefaultElision(on bool) bool {
+	old := defaultElision
+	defaultElision = on
+	return old
+}
+
+// DefaultElision reports the current package default.
+func DefaultElision() bool { return defaultElision }
+
+// ParseElide converts a command-line -elide value ("on"|"off") to a
+// bool. A string flag rather than a bool one so misspellings are
+// refused loudly instead of silently defaulting.
+func ParseElide(s string) (bool, error) {
+	switch s {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return true, fmt.Errorf("kernel: unknown elide setting %q (want on or off)", s)
+}
+
+// SetElision switches this kernel's linked engine between eliding and
+// not eliding proven-redundant checks (flushing its linked-code cache).
+func (k *Kernel) SetElision(on bool) { k.engine.SetElide(on) }
+
+// ProofCounts is the per-module tally of instrumentation sites the
+// admission checker proved redundant at translation time.
+type ProofCounts struct {
+	Masks int // maskghost sites provably already-masked on all paths
+	CFIs  int // cfi.callind sites dominated by an equivalent check
+}
+
+// ModuleProofs returns the per-module proof tallies for every module
+// admitted so far (module name -> counts, zero-count modules omitted).
+func (k *Kernel) ModuleProofs() map[string]ProofCounts {
+	out := make(map[string]ProofCounts, len(k.moduleProofs))
+	for name, c := range k.moduleProofs {
+		out[name] = c
+	}
+	return out
+}
+
+// ElisionStats describes the kernel's check-elision state: whether the
+// linked engine is eliding, how many sites translation proved
+// redundant across all admitted modules, and how many sites the
+// engine's linker actually lowered to elided forms (cumulative over
+// relinks; zero when running the reference engine or -elide=off).
+type ElisionStats struct {
+	Enabled     bool
+	MasksProven int
+	CFIProven   int
+	MasksElided uint64
+	CFIElided   uint64
+}
+
+// ElisionStats reports the kernel's current elision state.
+func (k *Kernel) ElisionStats() ElisionStats {
+	st := ElisionStats{Enabled: k.engine.Elide()}
+	for _, c := range k.moduleProofs {
+		st.MasksProven += c.Masks
+		st.CFIProven += c.CFIs
+	}
+	es := k.engine.Elision()
+	st.MasksElided = es.MasksElided
+	st.CFIElided = es.CFIElided
+	return st
+}
+
 // SetHostParallel switches this kernel between serial and host-parallel
 // user phases. It only has an effect on multi-CPU machines (single-CPU
 // kernels never run the epoch scheduler) and is safe to flip between
@@ -300,7 +388,9 @@ func Boot(hal core.HAL) (*Kernel, error) {
 		engine:       vir.NewEngine(),
 		refInterps:   make(map[vir.Env]*vir.Interp),
 		modEnvs:      make(map[hw.Frame]vir.Env),
+		moduleProofs: make(map[string]ProofCounts),
 	}
+	k.engine.SetElide(defaultElision)
 	k.cpus = make([]*cpuRun, k.M.NumCPUs())
 	for i := range k.cpus {
 		k.cpus[i] = &cpuRun{id: i}
@@ -498,6 +588,15 @@ func (k *Kernel) admitModule(name string, tr moduleTranslation) (*Module, error)
 	}
 	if !tr.Verify() {
 		return nil, fmt.Errorf("kernel: module %q refused: translation signature mismatch", name)
+	}
+	// Record elision-proof tallies when the translation carries them
+	// (a type assertion so moduleTranslation stays minimal and fake
+	// translations in tests need not implement it).
+	if pc, ok := tr.(interface{ ProofCounts() (int, int) }); ok {
+		masks, cfis := pc.ProofCounts()
+		if masks+cfis > 0 {
+			k.moduleProofs[name] = ProofCounts{Masks: masks, CFIs: cfis}
+		}
 	}
 	return &Module{Name: name, Translation: tr, kernel: k}, nil
 }

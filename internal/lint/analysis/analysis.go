@@ -1,0 +1,67 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer bundles a
+// name, documentation, and a Run function over a per-package Pass that
+// reports Diagnostics. The repository pins a zero-dependency build, so
+// the real module is out of reach; this package keeps the analyzer
+// shape source-compatible enough that the checks in internal/lint
+// could move onto the upstream framework without rewrites.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check, applied package by package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and documentation
+	// (lower-case, no spaces).
+	Name string
+	// Doc is the one-paragraph description: what the check enforces
+	// and why.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil applies the analyzer to every package.
+	Match func(pkgPath string) bool
+	// NeedTypes requests type information: the driver type-checks the
+	// package and populates Pass.Pkg/Pass.TypesInfo before Run.
+	// Syntactic analyzers leave it false and run much faster.
+	NeedTypes bool
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed (and optionally type-checked)
+// state through an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	// Pkg and TypesInfo are populated only for NeedTypes analyzers.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	if f := p.Fset.File(pos); f != nil {
+		return f.Name()
+	}
+	return ""
+}
+
+// Diagnostic is one finding: a position in the fileset and a message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestAnalyzersOnFixture runs the suite over the fixture module, which
+// plants one violation per rule plus the two deliberate non-violations
+// (the clock.go exemption and the panic-inside-map-range exclusion).
+func TestAnalyzersOnFixture(t *testing.T) {
+	findings, err := lint.Run(filepath.Join("testdata", "modroot"), lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	want := []struct {
+		analyzer string
+		line     int
+	}{
+		{"nodeterm", 5},    // math/rand import
+		{"rawadvance", 12}, // c.Advance
+		{"rawadvance", 13}, // c.AdvanceBytes
+		{"nodeterm", 14},   // time.Now
+		{"maprange", 17},   // fmt.Println inside map range
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		f := findings[i]
+		if f.Analyzer != w.analyzer || f.Pos.Line != w.line {
+			t.Errorf("finding %d: got %s at line %d, want %s at line %d (%s)",
+				i, f.Analyzer, f.Pos.Line, w.analyzer, w.line, f)
+		}
+		if base := filepath.Base(f.Pos.Filename); base != "bad.go" {
+			t.Errorf("finding %d: in %s, want bad.go", i, base)
+		}
+	}
+}
+
+// TestDeterministicCoreScope: the cmd tree of the fixture uses
+// time.Now and map-range printing, which the scoped analyzers must
+// ignore — the previous test's findings all came from internal/hw.
+// This guards the Match predicates themselves.
+func TestDeterministicCoreScope(t *testing.T) {
+	findings, err := lint.Run(filepath.Join("testdata", "modroot"), lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		if strings.Contains(filepath.ToSlash(f.Pos.Filename), "cmd/tool") {
+			t.Errorf("scoped analyzer leaked into the cmd tree: %s", f)
+		}
+	}
+}

@@ -32,6 +32,13 @@ type Engine struct {
 	cache map[*Function]*linkedFn
 	epoch uint64
 
+	// elide enables proof-carrying check elision at link time: mask
+	// and CFI sites certified redundant by Function.Proofs lower to
+	// their host-cheap forms (charges unchanged). On by default;
+	// SetElide(false) is the bisection escape hatch.
+	elide bool
+	stats ElisionStats
+
 	// arena backs register frames and call argument vectors as a
 	// stack; sp is the high-water bump pointer.
 	arena []uint64
@@ -41,10 +48,37 @@ type Engine struct {
 	active bool
 }
 
-// NewEngine creates an engine with the default step budget.
-func NewEngine() *Engine {
-	return &Engine{MaxSteps: 50_000_000, cache: make(map[*Function]*linkedFn)}
+// ElisionStats counts instrumentation sites the linker lowered to
+// their elided forms. Counts are cumulative over lowerings: relinking
+// after an epoch bump counts the sites again, mirroring the work the
+// linker actually did.
+type ElisionStats struct {
+	MasksElided uint64
+	CFIElided   uint64
 }
+
+// NewEngine creates an engine with the default step budget and
+// proof-carrying elision enabled.
+func NewEngine() *Engine {
+	return &Engine{MaxSteps: 50_000_000, cache: make(map[*Function]*linkedFn), elide: true}
+}
+
+// SetElide switches proof-carrying check elision on or off. Toggling
+// flushes the linked-code cache so the setting applies to everything
+// executed afterwards.
+func (e *Engine) SetElide(on bool) {
+	if e.elide == on {
+		return
+	}
+	e.elide = on
+	clear(e.cache)
+}
+
+// Elide reports whether proof-carrying elision is enabled.
+func (e *Engine) Elide() bool { return e.elide }
+
+// Elision returns the cumulative elision counters.
+func (e *Engine) Elision() ElisionStats { return e.stats }
 
 // Call runs fn with the given arguments against env and returns its
 // return value. A re-entrant Call (a host intrinsic invoking module
@@ -57,13 +91,16 @@ func (e *Engine) Call(env Env, fn *Function, args ...uint64) (uint64, error) {
 			e.epoch = ep
 		}
 	}
+	// The clock is hoisted out of the frame loop: one Env interface
+	// call per top-level run instead of one per frame.
+	clk := env.Clock()
 	if e.active {
-		return e.exec(env, e.linked(env, fn), args, 0)
+		return e.exec(env, clk, e.linked(env, fn), args, 0)
 	}
 	e.active = true
 	e.steps = 0
 	defer func() { e.active = false }()
-	return e.exec(env, e.linked(env, fn), args, 0)
+	return e.exec(env, clk, e.linked(env, fn), args, 0)
 }
 
 // linked returns the cached lowering of fn, linking it on first use.
@@ -97,19 +134,29 @@ func lval(regs []uint64, v Value) uint64 {
 	return regs[v.Reg]
 }
 
-func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, error) {
+// exec wraps run with the frame epilogue: the arena pointer is
+// restored on every way out (returns and errors alike) by the caller
+// frame instead of a per-frame defer, which keeps the hot call path
+// free of defer bookkeeping.
+func (e *Engine) exec(env Env, clk *hw.Clock, lf *linkedFn, args []uint64, depth int) (uint64, error) {
+	sp0 := e.sp
+	ret, err := e.run(env, clk, lf, args, depth)
+	e.sp = sp0
+	return ret, err
+}
+
+func (e *Engine) run(env Env, clk *hw.Clock, lf *linkedFn, args []uint64, depth int) (uint64, error) {
 	if depth > 256 {
 		return 0, fmt.Errorf("vir: call depth exceeded in %s", lf.fn.Name)
 	}
 	if len(args) != lf.fn.NParams {
 		return 0, fmt.Errorf("vir: %s wants %d args, got %d", lf.fn.Name, lf.fn.NParams, len(args))
 	}
-	sp0 := e.sp
-	defer func() { e.sp = sp0 }()
 	regs := e.carve(lf.fn.NRegs)
-	clear(regs)
-	copy(regs, args)
-	clk := env.Clock()
+	// Parameters overwrite the frame's head; only the remainder needs
+	// zeroing (the arena hands out dirty memory).
+	n := copy(regs, args)
+	clear(regs[n:])
 	code := lf.code
 
 	var retOverride uint64 // code address forced by __corrupt_return
@@ -171,6 +218,10 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 			}
 		case OpMaskGhost:
 			regs[in.dst] = MaskAddress(lval(regs, in.a))
+		case opMaskElided:
+			// Proven redundant: operand b already holds the masked
+			// value (charges unchanged, batched at the segment head).
+			regs[in.dst] = lval(regs, in.b)
 		case opFuncAddrImm:
 			regs[in.dst] = in.imm
 		case OpCFILabel:
@@ -209,7 +260,7 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 			for i, a := range in.args {
 				argv[i] = lval(regs, a)
 			}
-			ret, err := e.exec(env, in.callee, argv, depth+1)
+			ret, err := e.exec(env, clk, in.callee, argv, depth+1)
 			e.sp = asp
 			if err != nil {
 				return 0, err
@@ -239,8 +290,11 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 			overridden = true
 			regs[in.dst] = 0
 
-		case OpCallInd, OpCFICallInd:
+		case OpCallInd, OpCFICallInd, opCFICallIndElided:
 			target := lval(regs, in.a)
+			// opCFICallIndElided carries the same charges but skips
+			// the host-side check its dominating predecessor already
+			// performed on this exact value.
 			if in.op == OpCFICallInd {
 				if err := cfiCheck(env, lf.fn.Name, target); err != nil {
 					return 0, err
@@ -255,7 +309,7 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 			for i, a := range in.args {
 				argv[i] = lval(regs, a)
 			}
-			ret, err := e.exec(env, e.linked(env, callee), argv, depth+1)
+			ret, err := e.exec(env, clk, e.linked(env, callee), argv, depth+1)
 			e.sp = asp
 			if err != nil {
 				return 0, err
@@ -277,7 +331,7 @@ func (e *Engine) exec(env Env, lf *linkedFn, args []uint64, depth int) (uint64, 
 				if gadget.NParams != 0 {
 					return 0, fmt.Errorf("vir: return pivot target %s expects arguments", gadget.Name)
 				}
-				return e.exec(env, e.linked(env, gadget), nil, depth+1)
+				return e.exec(env, clk, e.linked(env, gadget), nil, depth+1)
 			}
 			return lval(regs, in.a), nil
 
@@ -376,6 +430,8 @@ func pureEval(regs []uint64, in *linkedInstr) {
 		}
 	case OpMaskGhost:
 		regs[in.dst] = MaskAddress(lval(regs, in.a))
+	case opMaskElided:
+		regs[in.dst] = lval(regs, in.b)
 	case opFuncAddrImm:
 		regs[in.dst] = in.imm
 	case OpCFILabel:

@@ -684,6 +684,11 @@ func FuzzEngineDifferential(f *testing.F) {
 		"module io\nfunc drv(0 params) {\nentry:\n  %r0 = portin 0x60\n  portout 0x61, %r0\n  %r1 = funcaddr drv\n  %r2 = callind %r1(%r0)\n  ret %r2\n}\n",
 		"module c\nfunc rec(1 params) {\nentry:\n  %r1 = call rec(%r0)\n  ret %r1\n}\n",
 		"module s\nfunc spin(0 params) {\nentry:\n  br entry\n}\n",
+		// Redundant re-masks and a dominated indirect re-check: the
+		// shapes the check prover elides (fuzzed here with Proofs nil,
+		// i.e. the plain lowering; check's FuzzElisionDifferential
+		// covers the elided lowering).
+		"module r\nfunc h(1 params) {\nentry:\n  cfi.label 0xcf1\n  %r1 = maskghost %r0\n  store8 [%r1], 0x1\n  %r2 = maskghost %r0\n  %r3 = load8 [%r2]\n  %r4 = funcaddr h2\n  %r5 = cfi.callind %r4(%r3)\n  %r6 = cfi.callind %r4(%r5)\n  cfi.ret %r6\n}\nfunc h2(1 params) {\nentry:\n  cfi.label 0xcf1\n  cfi.ret %r0\n}\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -709,7 +714,7 @@ func FuzzEngineDifferential(f *testing.F) {
 				stubIntrinsics(env)
 				target := mc.Func(fn.Name)
 				var (
-					ret uint64
+					ret  uint64
 					rerr error
 				)
 				if engine == "reference" {

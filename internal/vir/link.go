@@ -63,6 +63,17 @@ const (
 	// opUnimpl: an opcode the linker does not know; reproduces the
 	// reference "unimplemented opcode" error at execution time.
 	opUnimpl
+	// opMaskElided: an OpMaskGhost the admission checker proved
+	// redundant (Function.Proofs): register b already holds the masked
+	// value, so the host work collapses to a register copy. The
+	// modeled charge is unchanged — virtual cycles are charged for the
+	// mask the virtual machine still "executes".
+	opMaskElided
+	// opCFICallIndElided: an OpCFICallInd whose target provably passed
+	// an equivalent CFI check earlier on all paths. Identical to
+	// OpCFICallInd minus the host-side cfiCheck call; charges
+	// unchanged.
+	opCFICallIndElided
 )
 
 // linkedInstr is one lowered instruction. Branch targets are code
@@ -133,7 +144,7 @@ func instrCharges(op Opcode) []tagCharge {
 		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
 		opFuncAddrImm:
 		return chargeALU
-	case OpMaskGhost:
+	case OpMaskGhost, opMaskElided:
 		return chargeMask
 	case OpCFILabel:
 		return chargeLabel
@@ -141,7 +152,7 @@ func instrCharges(op Opcode) []tagCharge {
 		return chargeBranch
 	case OpCall, opCallIntrinsic, opCorruptReturn, OpCallInd, OpRet:
 		return chargeCall
-	case OpCFICallInd, OpCFIRet:
+	case OpCFICallInd, opCFICallIndElided, OpCFIRet:
 		return chargeCFICall
 	}
 	return nil
@@ -155,7 +166,7 @@ func endsSegment(op Opcode) bool {
 	switch op {
 	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
 		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
-		OpMaskGhost, OpCFILabel, opFuncAddrImm:
+		OpMaskGhost, opMaskElided, OpCFILabel, opFuncAddrImm:
 		return false
 	}
 	return true
@@ -193,7 +204,7 @@ func (e *Engine) link(env Env, fn *Function) *linkedFn {
 	// Pass 2: lower instructions.
 	for _, b := range fn.Blocks {
 		for i := range b.Instrs {
-			lf.code = append(lf.code, e.lower(env, fn, b, &b.Instrs[i], starts))
+			lf.code = append(lf.code, e.lower(env, fn, b, i, starts))
 		}
 		if n := len(b.Instrs); n == 0 || !isTerminator(b.Instrs[n-1].Op) {
 			lf.code = append(lf.code, linkedInstr{op: opFellOff, sym: b.Name})
@@ -238,8 +249,9 @@ func addTagCharge(batch []tagCharge, tc tagCharge) []tagCharge {
 	return append(batch, tc)
 }
 
-// lower translates one instruction.
-func (e *Engine) lower(env Env, fn *Function, b *Block, in *Instr, starts map[string]int) linkedInstr {
+// lower translates the instruction b.Instrs[idx].
+func (e *Engine) lower(env Env, fn *Function, b *Block, idx int, starts map[string]int) linkedInstr {
+	in := &b.Instrs[idx]
 	li := linkedInstr{
 		op: in.Op, dst: in.Dst, a: in.A, b: in.B, c: in.C,
 		imm: in.Imm, size: in.Size, sym: in.Sym, args: in.Args,
@@ -272,9 +284,29 @@ func (e *Engine) lower(env Env, fn *Function, b *Block, in *Instr, starts map[st
 			li.op = opFuncAddrImm
 			li.imm = addr
 		}
+	case OpMaskGhost:
+		// Proof-carrying elision: when the admission checker proved a
+		// register already holds the masked value on every path, the
+		// mask collapses to a copy from it (operand b). Charges stay
+		// those of the mask — the virtual machine still executes it.
+		if e.elide {
+			if p, ok := fn.Proofs.MaskAt(b.Name, idx); ok {
+				li.op = opMaskElided
+				li.b = R(p.CopyFrom)
+				e.stats.MasksElided++
+			}
+		}
+	case OpCFICallInd:
+		// Dominated CFI check: the target value already passed an
+		// identical check on every path, so the host-side re-check is
+		// skipped. Charges stay those of the checked call.
+		if e.elide && fn.Proofs.CFIDominatedAt(b.Name, idx) {
+			li.op = opCFICallIndElided
+			e.stats.CFIElided++
+		}
 	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
 		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
-		OpMaskGhost, OpLoad, OpStore, OpMemcpy, OpCallInd, OpCFICallInd,
+		OpLoad, OpStore, OpMemcpy, OpCallInd,
 		OpRet, OpCFIRet, OpPortIn, OpPortOut, OpCFILabel:
 		// Lowered as-is.
 	default:

@@ -1,0 +1,112 @@
+package vir
+
+// This file defines the proof-carrying-code side of link-time check
+// elision. The static admission checker (internal/compiler/check) can
+// prove some instrumentation sites redundant — a maskghost whose input
+// is already mask-derived on every incoming path, a CFI indirect-call
+// check whose target value already passed an equivalent check — and
+// records those proofs here, attached to the translated Function. The
+// pre-linked engine (link.go) consumes them: a proven site keeps its
+// modeled virtual-cycle charge (the virtual clock must stay
+// bit-identical; charges are modeled, not measured) but skips the
+// host-side work of re-computing the mask or re-running the CFI check.
+//
+// The proofs are advisory for correctness of the *host* fast path
+// only: an engine that ignores them is still correct, and the
+// reference interpreter never looks at them, which is what lets the
+// differential tests and fuzzers act as the oracle for the prover.
+
+// MaskProof records that at one OpMaskGhost site, register CopyFrom
+// already holds MaskAddress(input) on every path reaching the site
+// (MaskAddress is idempotent, so "already masked" values qualify as
+// their own mask). The engine may lower the site to a register copy.
+type MaskProof struct {
+	CopyFrom int
+}
+
+// CheckProofs is the per-function elision certificate emitted by the
+// admission checker: which instrumentation sites are provably
+// redundant, keyed by (block name, instruction index) in the function
+// the proof was computed for. A nil *CheckProofs means "nothing
+// proven" and is valid everywhere.
+type CheckProofs struct {
+	// Masks maps block name -> instruction index -> proof for
+	// OpMaskGhost sites whose result provably equals an already-held
+	// register value.
+	Masks map[string]map[int]MaskProof
+	// CFIs maps block name -> instruction index -> true for
+	// OpCFICallInd sites whose target register provably passed the
+	// same CFI check earlier on every path (and has not been
+	// redefined since).
+	CFIs map[string]map[int]bool
+}
+
+// MaskAt returns the proof for the maskghost at block[idx], if any.
+func (p *CheckProofs) MaskAt(block string, idx int) (MaskProof, bool) {
+	if p == nil {
+		return MaskProof{}, false
+	}
+	mp, ok := p.Masks[block][idx]
+	return mp, ok
+}
+
+// CFIDominatedAt reports whether the indirect-call check at block[idx]
+// is proven dominated by an equivalent earlier check.
+func (p *CheckProofs) CFIDominatedAt(block string, idx int) bool {
+	return p != nil && p.CFIs[block][idx]
+}
+
+// Counts returns how many mask and CFI sites the certificate proves.
+func (p *CheckProofs) Counts() (masks, cfis int) {
+	if p == nil {
+		return 0, 0
+	}
+	for _, m := range p.Masks {
+		masks += len(m)
+	}
+	for _, m := range p.CFIs {
+		cfis += len(m)
+	}
+	return masks, cfis
+}
+
+// Empty reports whether the certificate proves nothing.
+func (p *CheckProofs) Empty() bool {
+	m, c := p.Counts()
+	return m+c == 0
+}
+
+// addMask records one mask proof (allocating lazily).
+func (p *CheckProofs) addMask(block string, idx int, proof MaskProof) {
+	if p.Masks == nil {
+		p.Masks = make(map[string]map[int]MaskProof)
+	}
+	if p.Masks[block] == nil {
+		p.Masks[block] = make(map[int]MaskProof)
+	}
+	p.Masks[block][idx] = proof
+}
+
+// addCFI records one dominated-check proof (allocating lazily).
+func (p *CheckProofs) addCFI(block string, idx int) {
+	if p.CFIs == nil {
+		p.CFIs = make(map[string]map[int]bool)
+	}
+	if p.CFIs[block] == nil {
+		p.CFIs[block] = make(map[int]bool)
+	}
+	p.CFIs[block][idx] = true
+}
+
+// AddMask records a proof that the maskghost at block[idx] may be
+// lowered to a copy from register copyFrom. Exposed for the prover
+// (internal/compiler/check); the engine only reads certificates.
+func (p *CheckProofs) AddMask(block string, idx, copyFrom int) {
+	p.addMask(block, idx, MaskProof{CopyFrom: copyFrom})
+}
+
+// AddCFIDominated records a proof that the indirect-call check at
+// block[idx] is dominated by an equivalent earlier check.
+func (p *CheckProofs) AddCFIDominated(block string, idx int) {
+	p.addCFI(block, idx)
+}
