@@ -24,11 +24,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vgattack: -cpus must be at least 2 (the stale-TLB vector needs a remote CPU)")
 		os.Exit(2)
 	}
-	if *hostpar && *cpus <= 1 {
-		fmt.Fprintln(os.Stderr, "vgattack: -hostpar needs multi-CPU machines: pass -cpus > 1")
+	execCfg, err := kernel.ResolveExecFlags(kernel.ExecFlags{HostPar: *hostpar, CPUs: *cpus})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vgattack:", err)
 		os.Exit(2)
 	}
-	kernel.SetDefaultHostParallel(*hostpar)
+	execCfg.Apply()
 	var keys []string
 	for _, k := range strings.Split(*only, ",") {
 		if k = strings.TrimSpace(k); k != "" {

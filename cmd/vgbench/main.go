@@ -35,6 +35,7 @@ func main() {
 	traceOut := flag.String("trace", "", "record tagged charge events and write a Chrome trace_event JSON file at exit")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	elideFlag := flag.String("elide", "on", "elide host work of proven-redundant checks: on|off (virtual numbers identical either way)")
+	fuseFlag := flag.String("fuse", "on", "fuse hot instruction idioms into superinstructions: on|off (virtual numbers identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -44,25 +45,12 @@ func main() {
 			*only, strings.Join(experimentNames, ", "))
 		os.Exit(2)
 	}
-	if *hostpar && *cpus <= 1 {
-		fmt.Fprintln(os.Stderr, "-hostpar needs multi-CPU machines: pass -cpus > 1")
-		os.Exit(2)
-	}
-	kernel.SetDefaultHostParallel(*hostpar)
-
-	eng, err := kernel.ParseEngine(*engineFlag)
+	execCfg, err := kernel.ResolveExecFlags(execFlags(*engineFlag, *elideFlag, *fuseFlag, *hostpar, *cpus))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	kernel.SetDefaultEngine(eng)
-
-	elide, err := kernel.ParseElide(*elideFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	kernel.SetDefaultElision(elide)
+	execCfg.Apply()
 
 	var tracer *hw.Tracer
 	if *traceOut != "" {
@@ -303,6 +291,26 @@ func main() {
 		}
 		record("check_elision", ns, allocs, ab, metrics)
 	}
+	if run("fuse") {
+		var rep experiments.FusionReport
+		ns, allocs, ab := timed(func() { rep = experiments.CheckFusion(sc.PostmarkTxns) })
+		fmt.Println(experiments.FormatFusion(rep))
+		metrics := map[string]float64{
+			"sites_fused":    float64(rep.SitesFused),
+			"ic_hits":        float64(rep.ICHits),
+			"ic_misses":      float64(rep.ICMisses),
+			"host_speedup_x": rep.HostSpeedup(),
+		}
+		if rep.Enabled {
+			metrics["enabled"] = 1
+		} else {
+			metrics["enabled"] = 0
+		}
+		for name, n := range rep.Modules {
+			metrics[name+"/sites_fused"] = float64(n)
+		}
+		record("superinstruction_fusion", ns, allocs, ab, metrics)
+	}
 	if *jsonOut {
 		path := "BENCH_" + report.Date + ".json"
 		if err := experiments.WriteBenchJSON(path, report); err != nil {
@@ -346,7 +354,23 @@ func main() {
 }
 
 // experimentNames are the valid -only values, in run order.
-var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide"}
+var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide", "fuse"}
+
+// execFlags assembles the shared engine-flag set for kernel validation,
+// recording which of -elide/-fuse the user passed explicitly
+// (flag.Visit only sees flags present on the command line).
+func execFlags(engine, elide, fuse string, hostpar bool, cpus int) kernel.ExecFlags {
+	ef := kernel.ExecFlags{Engine: engine, Elide: elide, Fuse: fuse, HostPar: hostpar, CPUs: cpus}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "elide":
+			ef.ElideSet = true
+		case "fuse":
+			ef.FuseSet = true
+		}
+	})
+	return ef
+}
 
 var validExperiments = func() map[string]bool {
 	m := make(map[string]bool, len(experimentNames))

@@ -28,29 +28,17 @@ func main() {
 	hostpar := flag.Bool("hostpar", false, "run epoch user phases on concurrent host goroutines (needs -cpus > 1; identical results, less wall-clock)")
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	elideFlag := flag.String("elide", "on", "elide host work of proven-redundant checks: on|off (virtual numbers identical either way)")
+	fuseFlag := flag.String("fuse", "on", "fuse hot instruction idioms into superinstructions: on|off (virtual numbers identical either way)")
 	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution and the per-syscall profile")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of tagged charges")
 	flag.Parse()
 
-	if *hostpar && *cpus <= 1 {
-		fmt.Fprintln(os.Stderr, "-hostpar needs multi-CPU machines: pass -cpus > 1")
-		os.Exit(2)
-	}
-	kernel.SetDefaultHostParallel(*hostpar)
-
-	eng, err := kernel.ParseEngine(*engineFlag)
+	execCfg, err := kernel.ResolveExecFlags(execFlags(*engineFlag, *elideFlag, *fuseFlag, *hostpar, *cpus))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	kernel.SetDefaultEngine(eng)
-
-	elide, err := kernel.ParseElide(*elideFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	kernel.SetDefaultElision(elide)
+	execCfg.Apply()
 
 	var tracer *hw.Tracer
 	if *traceOut != "" {
@@ -165,4 +153,20 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// execFlags assembles the shared engine-flag set for kernel validation,
+// recording which of -elide/-fuse the user passed explicitly
+// (flag.Visit only sees flags present on the command line).
+func execFlags(engine, elide, fuse string, hostpar bool, cpus int) kernel.ExecFlags {
+	ef := kernel.ExecFlags{Engine: engine, Elide: elide, Fuse: fuse, HostPar: hostpar, CPUs: cpus}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "elide":
+			ef.ElideSet = true
+		case "fuse":
+			ef.FuseSet = true
+		}
+	})
+	return ef
 }

@@ -127,7 +127,10 @@ type BenchEntry struct {
 // v2: adds schema_version and optional per-entry breakdown maps.
 // v3: adds the check_elision entry (per-module masks_proven/cfi_proven
 // metrics, global masks_elided/cfi_elided/enabled/host_speedup_x).
-const BenchSchemaVersion = 3
+// v4: adds the superinstruction_fusion entry (global sites_fused/
+// ic_hits/ic_misses/enabled/host_speedup_x plus per-module
+// <name>/sites_fused metrics).
+const BenchSchemaVersion = 4
 
 // BenchReport is the cross-PR perf trajectory record written by
 // `vgbench -json` as BENCH_<date>.json.

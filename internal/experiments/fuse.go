@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/kernel"
+	"repro/internal/vir"
+)
+
+// fuseDemoSource is a deliberately idiom-heavy module: hotloop's body
+// hits every fusable pattern the linker knows (cmp+condbr head,
+// const+ALU, the sandbox-inserted mask+store and mask+load, the add+br
+// back-edge, and a call+ret tail), and dispatch hammers one indirect
+// call site through a stable register so the monomorphic inline cache
+// sees a long monomorphic run. It is the fusion report's measurement
+// subject, the analogue of elideDemoSource for the superinstruction
+// tier.
+const fuseDemoSource = `module fusedemo
+func leaf(1 params) {
+entry:
+  %r1 = add %r0, 0x7
+  ret %r1
+}
+func hotloop(2 params) {
+entry:
+  %r2 = const 0x0
+  br head
+head:
+  %r3 = cmplt %r2, %r1
+  condbr %r3, body, done
+body:
+  %r4 = const 0x1f
+  %r5 = mul %r2, %r4
+  store8 [%r0], %r5
+  %r6 = load8 [%r0]
+  %r2 = add %r2, 0x1
+  br head
+done:
+  %r7 = call leaf(%r2)
+  ret %r7
+}
+func dispatch(2 params) {
+entry:
+  %r2 = const 0x0
+  %r3 = funcaddr leaf
+  br head
+head:
+  %r4 = cmplt %r2, %r1
+  condbr %r4, body, done
+body:
+  %r5 = callind %r3(%r2)
+  %r2 = add %r2, 0x1
+  br head
+done:
+  ret %r2
+}
+`
+
+// fuseDemoSlot is the kernel-space address hotloop's store/load pair
+// hammers (distinct from the elision demo's slot so the two experiments
+// cannot alias if they ever share a system).
+const fuseDemoSlot uint64 = 0xffffff8000002000
+
+// FusionReport is the result of the superinstruction measurement: how
+// many sites the linker fused per module, how the inline caches fared,
+// and the host cost of the same workload with fusion on vs off. The
+// virtual cycle cost is recorded once because it is asserted identical
+// in both modes — CheckFusion panics otherwise, so every vgbench -json
+// run re-proves the bit-identical-numbers contract for the fusion tier
+// just as the elision entry does for check elision.
+type FusionReport struct {
+	Enabled bool
+	// Cumulative engine tallies after both passes (relinking after the
+	// fusion flip re-counts, so SitesFused tracks lowered sites, not
+	// distinct static sites; IC counters only advance while fusion is on).
+	SitesFused uint64
+	ICHits     uint64
+	ICMisses   uint64
+	// Modules maps module name -> fused sites contributed by its
+	// functions (zero-count modules omitted).
+	Modules   map[string]uint64
+	HostOnNs  int64  // host ns for the workload, fusion on
+	HostOffNs int64  // host ns for the workload, fusion off
+	Cycles    uint64 // virtual cycles per pass (identical on/off)
+}
+
+// HostSpeedup returns off/on host time (>1 means fusion helped).
+func (r FusionReport) HostSpeedup() float64 {
+	if r.HostOnNs == 0 {
+		return 0
+	}
+	return float64(r.HostOffNs) / float64(r.HostOnNs)
+}
+
+// CheckFusion boots a Virtual Ghost system, loads the idiom-heavy demo
+// module, and runs the same hot loops with superinstruction fusion on
+// and off, verifying the virtual cycle count is bit-identical in both
+// modes and reporting fused-site/inline-cache tallies plus host
+// timings. iters scales the loops (vgbench passes its usual quick/full
+// scale).
+func CheckFusion(iters int) FusionReport {
+	sys := newSystem(repro.VirtualGhost)
+	k := sys.Kernel
+	m, err := vir.ParseModule(fuseDemoSource)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fuse demo source: %v", err))
+	}
+	mod, err := k.LoadModule(m)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fuse demo load: %v", err))
+	}
+
+	workload := func() uint64 {
+		c0 := k.M.Clock.Cycles()
+		if _, err := k.RunModuleFunc(mod, "hotloop", fuseDemoSlot, uint64(iters)); err != nil {
+			panic(fmt.Sprintf("experiments: fuse demo hotloop: %v", err))
+		}
+		if _, err := k.RunModuleFunc(mod, "dispatch", 0, uint64(iters)); err != nil {
+			panic(fmt.Sprintf("experiments: fuse demo dispatch: %v", err))
+		}
+		return k.M.Clock.Cycles() - c0
+	}
+
+	rep := FusionReport{Enabled: kernel.DefaultFusion()}
+	k.SetFusion(true)
+	workload() // untimed: link the module and warm engine caches + ICs
+	start := time.Now()
+	onCycles := workload()
+	rep.HostOnNs = time.Since(start).Nanoseconds()
+
+	k.SetFusion(false)
+	workload() // untimed: relink without fusion
+	start = time.Now()
+	offCycles := workload()
+	rep.HostOffNs = time.Since(start).Nanoseconds()
+	if onCycles != offCycles {
+		panic(fmt.Sprintf("experiments: fusion changed virtual cycles: on=%d off=%d", onCycles, offCycles))
+	}
+	rep.Cycles = onCycles
+
+	// Restore the session default before reading the tallies so Enabled
+	// reflects the flag the rest of the run honours.
+	k.SetFusion(kernel.DefaultFusion())
+	st := k.FusionStats()
+	rep.SitesFused = st.SitesFused
+	rep.ICHits = st.ICHits
+	rep.ICMisses = st.ICMisses
+	rep.Modules = k.ModuleFusion()
+	return rep
+}
+
+// FormatFusion renders the fusion report for the console.
+func FormatFusion(r FusionReport) string {
+	out := "Superinstruction fusion (profile-guided idiom fusion + inline caches; virtual numbers identical on/off)\n"
+	out += fmt.Sprintf("  enabled=%v  sites_fused=%d  ic_hits=%d  ic_misses=%d\n",
+		r.Enabled, r.SitesFused, r.ICHits, r.ICMisses)
+	names := make([]string, 0, len(r.Modules))
+	for name := range r.Modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out += fmt.Sprintf("  module %-12s sites_fused=%d\n", name, r.Modules[name])
+	}
+	out += fmt.Sprintf("  workload: %d virtual cycles; host %d ns (on) vs %d ns (off), %.2fx\n",
+		r.Cycles, r.HostOnNs, r.HostOffNs, r.HostSpeedup())
+	return out
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFusionReportShape runs the superinstruction measurement at a
+// small scale and checks the report the vgbench entry serializes:
+// sites fused in the demo module, a monomorphic inline-cache site that
+// hits after its first miss, and the bit-identity panic armed (the call
+// itself re-proves it — CheckFusion panics on any cycle difference).
+func TestFusionReportShape(t *testing.T) {
+	r := CheckFusion(64)
+	if !r.Enabled {
+		t.Error("fusion not enabled by default")
+	}
+	if r.SitesFused == 0 {
+		t.Error("demo module fused no sites")
+	}
+	if r.ICHits == 0 || r.ICMisses == 0 {
+		t.Errorf("inline cache never exercised: hits=%d misses=%d", r.ICHits, r.ICMisses)
+	}
+	if r.ICHits <= r.ICMisses {
+		t.Errorf("monomorphic site should mostly hit: hits=%d misses=%d", r.ICHits, r.ICMisses)
+	}
+	if r.Modules["fusedemo"] == 0 {
+		t.Errorf("no per-module tally for fusedemo: %v", r.Modules)
+	}
+	if r.Cycles == 0 {
+		t.Error("workload charged no virtual cycles")
+	}
+	out := FormatFusion(r)
+	for _, want := range []string{"sites_fused=", "ic_hits=", "module fusedemo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFusion output missing %q:\n%s", want, out)
+		}
+	}
+}

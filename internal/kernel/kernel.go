@@ -282,6 +282,86 @@ func ParseElide(s string) (bool, error) {
 // not eliding proven-redundant checks (flushing its linked-code cache).
 func (k *Kernel) SetElision(on bool) { k.engine.SetElide(on) }
 
+// defaultFusion is the superinstruction-fusion setting new kernels boot
+// with. On by default: like elision, fusion changes host work only —
+// fused charge lists are the exact concatenation of their constituents',
+// so every virtual number is bit-identical either way.
+var defaultFusion = true
+
+// SetDefaultFusion changes whether subsequently booted kernels' linked
+// engines fuse hot instruction idioms into superinstructions (and use
+// the monomorphic indirect-call inline caches), and returns the
+// previous default. cmd/vgrun and cmd/vgbench use it to honour their
+// -fuse flag; off is the bisection escape hatch, mirroring -elide.
+func SetDefaultFusion(on bool) bool {
+	old := defaultFusion
+	defaultFusion = on
+	return old
+}
+
+// DefaultFusion reports the current package default.
+func DefaultFusion() bool { return defaultFusion }
+
+// ParseFuse converts a command-line -fuse value ("on"|"off") to a bool.
+// A string flag rather than a bool one so misspellings are refused
+// loudly instead of silently defaulting.
+func ParseFuse(s string) (bool, error) {
+	switch s {
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return true, fmt.Errorf("kernel: unknown fuse setting %q (want on or off)", s)
+}
+
+// SetFusion switches this kernel's linked engine between fusing and not
+// fusing hot idioms (flushing its linked-code cache).
+func (k *Kernel) SetFusion(on bool) { k.engine.SetFuse(on) }
+
+// FusionStats describes the kernel's superinstruction-fusion state:
+// whether the linked engine is fusing, how many idiom sites its linker
+// collapsed into superinstructions (cumulative over relinks), and the
+// monomorphic inline-cache hit/miss counts on indirect-call sites (all
+// zero when running the reference engine or -fuse=off).
+type FusionStats struct {
+	Enabled    bool
+	SitesFused uint64
+	ICHits     uint64
+	ICMisses   uint64
+}
+
+// FusionStats reports the kernel's current fusion state.
+func (k *Kernel) FusionStats() FusionStats {
+	fs := k.engine.Fusion()
+	return FusionStats{
+		Enabled:    k.engine.Fuse(),
+		SitesFused: fs.SitesFused,
+		ICHits:     fs.ICHits,
+		ICMisses:   fs.ICMisses,
+	}
+}
+
+// ModuleFusion returns, per loaded module, how many superinstruction
+// sites the engine's linker fused in that module's functions (module
+// name -> sites, cumulative over relinks, zero-count modules omitted).
+// Functions are matched by name, so modules sharing a function name
+// share its tally.
+func (k *Kernel) ModuleFusion() map[string]uint64 {
+	sites := k.engine.FuseSites()
+	out := make(map[string]uint64)
+	for _, mod := range k.modules {
+		var n uint64
+		for _, fn := range mod.fnNames {
+			n += sites[fn]
+		}
+		if n > 0 {
+			out[mod.Name] = n
+		}
+	}
+	return out
+}
+
 // ProofCounts is the per-module tally of instrumentation sites the
 // admission checker proved redundant at translation time.
 type ProofCounts struct {
@@ -391,6 +471,7 @@ func Boot(hal core.HAL) (*Kernel, error) {
 		moduleProofs: make(map[string]ProofCounts),
 	}
 	k.engine.SetElide(defaultElision)
+	k.engine.SetFuse(defaultFusion)
 	k.cpus = make([]*cpuRun, k.M.NumCPUs())
 	for i := range k.cpus {
 		k.cpus[i] = &cpuRun{id: i}
@@ -548,6 +629,10 @@ type Module struct {
 	Name        string
 	Translation moduleTranslation
 	kernel      *Kernel
+	// fnNames lists the module's function names, recorded at load time
+	// so per-module fusion tallies (ModuleFusion) can be assembled from
+	// the engine's per-function counters.
+	fnNames []string
 }
 
 // moduleTranslation abstracts over compiler.Translation to keep the
@@ -573,6 +658,9 @@ func (k *Kernel) LoadModule(m *vir.Module) (*Module, error) {
 	mod, err := k.admitModule(m.Name, tr)
 	if err != nil {
 		return nil, err
+	}
+	for _, fn := range m.Funcs {
+		mod.fnNames = append(mod.fnNames, fn.Name)
 	}
 	k.modules = append(k.modules, mod)
 	return mod, nil

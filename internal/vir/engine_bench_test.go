@@ -227,6 +227,132 @@ func benchCFILoop(b *testing.B, elide bool) {
 	}
 }
 
+// benchFuseSource is a checksum-style loop built entirely of fusable
+// idioms: per iteration a cmp+condbr head, four const+ALU pairs, and an
+// add+br back-edge — every dispatch collapses into a superinstruction
+// when fusion is on (the BenchmarkEngineKChecksum-class shape; the
+// mask-pair win rides the MaskLoop benchmarks above, the inline-cache
+// win the ICLoop pair below).
+const benchFuseSource = `module bf
+func hot(2 params) {
+entry:
+  %r2 = mov 0x0
+  br loop
+loop:
+  %r3 = cmplt %r2, %r1
+  condbr %r3, body, done
+body:
+  %r4 = const 0x9e37
+  %r5 = xor %r2, %r4
+  %r6 = const 0x1f
+  %r7 = mul %r5, %r6
+  %r8 = const 0x7
+  %r9 = shr %r7, %r8
+  %r10 = const 0x3
+  %r11 = add %r9, %r10
+  %r2 = add %r2, 0x1
+  br loop
+done:
+  ret %r2
+}
+`
+
+// BenchmarkEngineLoopFuse / NoFuse: the linked engine on the fusable
+// loop with the superinstruction pass on vs off. Virtual cycles are
+// identical in both (fused charges are the concatenation of the
+// constituents'); only dispatch count differs.
+func BenchmarkEngineLoopFuse(b *testing.B)   { benchFuseLoop(b, true) }
+func BenchmarkEngineLoopNoFuse(b *testing.B) { benchFuseLoop(b, false) }
+
+func benchFuseLoop(b *testing.B, fuse bool) {
+	m, err := ParseModule(benchFuseSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := newMemEnv()
+	fn := m.Funcs[0]
+	env.addFunc(fn)
+	eng := NewEngine()
+	eng.SetFuse(fuse)
+	if _, err := eng.Call(env, fn, 0x2000, 1000); err != nil {
+		b.Fatal(err)
+	}
+	if st := eng.Fusion(); fuse && st.SitesFused == 0 {
+		b.Fatal("fusion enabled but nothing fused")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Call(env, fn, 0x2000, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchICSource hammers one indirect-call site with a monomorphic
+// target: with fusion on, every iteration after the first hits the
+// inline cache and skips the address resolution and linked-code lookup.
+const benchICSource = `module bi
+func leaf(1 params) {
+entry:
+  ret %r0
+}
+func hot(1 params) {
+entry:
+  %r1 = funcaddr leaf
+  %r2 = mov 0x0
+  br loop
+loop:
+  %r3 = cmplt %r2, %r0
+  condbr %r3, body, done
+body:
+  %r4 = callind %r1(%r2)
+  %r5 = callind %r1(%r4)
+  %r6 = callind %r1(%r5)
+  %r7 = callind %r1(%r6)
+  %r8 = add %r2, 0x1
+  %r2 = mov %r8
+  br loop
+done:
+  ret 0x0
+}
+`
+
+// BenchmarkEngineICLoopFuse / NoFuse: the indirect-call loop with the
+// monomorphic inline caches on vs off.
+func BenchmarkEngineICLoopFuse(b *testing.B)   { benchICLoop(b, true) }
+func BenchmarkEngineICLoopNoFuse(b *testing.B) { benchICLoop(b, false) }
+
+func benchICLoop(b *testing.B, fuse bool) {
+	m, err := ParseModule(benchICSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := newMemEnv()
+	var fn *Function
+	for _, g := range m.Funcs {
+		env.addFunc(g)
+		if g.Name == "hot" {
+			fn = g
+		}
+	}
+	eng := NewEngine()
+	eng.SetFuse(fuse)
+	if _, err := eng.Call(env, fn, 1000); err != nil {
+		b.Fatal(err)
+	}
+	if st := eng.Fusion(); fuse && st.ICHits == 0 {
+		b.Fatal("fusion enabled but the inline cache never hit")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Call(env, fn, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInterpCallLoop is the reference interpreter on the same
 // workload.
 func BenchmarkInterpCallLoop(b *testing.B) {

@@ -44,9 +44,10 @@ func outcome(ret uint64, err error, env *memEnv) diffOutcome {
 	return o
 }
 
-// runDiff executes the function produced by setup under both engines
-// (each against its own fresh env) and fails the test unless every
-// observable matches. It returns the common outcome.
+// runDiff executes the function produced by setup under the reference
+// interpreter and the linked engine both with and without fusion (each
+// against its own fresh env) and fails the test unless every observable
+// matches across all three. It returns the common outcome.
 func runDiff(t *testing.T, maxSteps int, setup func(env *memEnv) (*Function, []uint64)) diffOutcome {
 	t.Helper()
 
@@ -59,33 +60,37 @@ func runDiff(t *testing.T, maxSteps int, setup func(env *memEnv) (*Function, []u
 	rv, rerr := ip.Call(fn, args...)
 	ref := outcome(rv, rerr, refEnv)
 
-	engEnv := newMemEnv()
-	fn2, args2 := setup(engEnv)
-	eng := NewEngine()
-	if maxSteps > 0 {
-		eng.MaxSteps = maxSteps
-	}
-	ev, eerr := eng.Call(engEnv, fn2, args2...)
-	got := outcome(ev, eerr, engEnv)
+	for _, fuse := range []bool{true, false} {
+		engEnv := newMemEnv()
+		fn2, args2 := setup(engEnv)
+		eng := NewEngine()
+		eng.SetFuse(fuse)
+		if maxSteps > 0 {
+			eng.MaxSteps = maxSteps
+		}
+		ev, eerr := eng.Call(engEnv, fn2, args2...)
+		got := outcome(ev, eerr, engEnv)
+		tag := map[bool]string{true: "engine(fuse)", false: "engine(nofuse)"}[fuse]
 
-	if got.ret != ref.ret {
-		t.Errorf("return mismatch: engine %#x, reference %#x", got.ret, ref.ret)
-	}
-	if got.errStr != ref.errStr {
-		t.Errorf("error mismatch:\n  engine:    %q\n  reference: %q", got.errStr, ref.errStr)
-	}
-	if got.cycles != ref.cycles {
-		t.Errorf("clock mismatch: engine %d cycles, reference %d", got.cycles, ref.cycles)
-	}
-	if !reflect.DeepEqual(got.mem, ref.mem) {
-		t.Errorf("memory state mismatch: engine %v, reference %v", got.mem, ref.mem)
-	}
-	if !reflect.DeepEqual(got.ports, ref.ports) {
-		t.Errorf("port state mismatch: engine %v, reference %v", got.ports, ref.ports)
-	}
-	// The step-limit error must keep its identity, not just its text.
-	if errors.Is(rerr, ErrStepLimit) != errors.Is(eerr, ErrStepLimit) {
-		t.Errorf("ErrStepLimit identity mismatch: engine %v, reference %v", eerr, rerr)
+		if got.ret != ref.ret {
+			t.Errorf("%s return mismatch: %#x, reference %#x", tag, got.ret, ref.ret)
+		}
+		if got.errStr != ref.errStr {
+			t.Errorf("%s error mismatch:\n  engine:    %q\n  reference: %q", tag, got.errStr, ref.errStr)
+		}
+		if got.cycles != ref.cycles {
+			t.Errorf("%s clock mismatch: %d cycles, reference %d", tag, got.cycles, ref.cycles)
+		}
+		if !reflect.DeepEqual(got.mem, ref.mem) {
+			t.Errorf("%s memory state mismatch: %v, reference %v", tag, got.mem, ref.mem)
+		}
+		if !reflect.DeepEqual(got.ports, ref.ports) {
+			t.Errorf("%s port state mismatch: %v, reference %v", tag, got.ports, ref.ports)
+		}
+		// The step-limit error must keep its identity, not just its text.
+		if errors.Is(rerr, ErrStepLimit) != errors.Is(eerr, ErrStepLimit) {
+			t.Errorf("%s ErrStepLimit identity mismatch: %v, reference %v", tag, eerr, rerr)
+		}
 	}
 	return ref
 }
@@ -689,6 +694,12 @@ func FuzzEngineDifferential(f *testing.F) {
 		// i.e. the plain lowering; check's FuzzElisionDifferential
 		// covers the elided lowering).
 		"module r\nfunc h(1 params) {\nentry:\n  cfi.label 0xcf1\n  %r1 = maskghost %r0\n  store8 [%r1], 0x1\n  %r2 = maskghost %r0\n  %r3 = load8 [%r2]\n  %r4 = funcaddr h2\n  %r5 = cfi.callind %r4(%r3)\n  %r6 = cfi.callind %r4(%r5)\n  cfi.ret %r6\n}\nfunc h2(1 params) {\nentry:\n  cfi.label 0xcf1\n  cfi.ret %r0\n}\n",
+		// Fusable idioms in a hot (back-edged) function: cmp+condbr,
+		// add+br back-edge, const+ALU, and the call+ret pair — the
+		// shapes the superinstruction pass collapses (fuse.go).
+		"module fu\nfunc leaf(1 params) {\nentry:\n  %r1 = add %r0, 0x1\n  ret %r1\n}\nfunc hot(1 params) {\nentry:\n  %r1 = const 0x0\n  br head\nhead:\n  %r2 = cmplt %r1, %r0\n  condbr %r2, body, done\nbody:\n  %r3 = const 0x3\n  %r4 = mul %r1, %r3\n  %r1 = add %r1, 0x1\n  br head\ndone:\n  %r5 = call leaf(%r1)\n  ret %r5\n}\n",
+		// Mask+load and mask+store pairs inside a loop.
+		"module fm\nfunc mem(1 params) {\nentry:\n  %r1 = const 0x0\n  br head\nhead:\n  %r2 = cmplt %r1, 0x4\n  condbr %r2, body, done\nbody:\n  %r3 = maskghost %r0\n  store8 [%r3], %r1\n  %r4 = maskghost %r0\n  %r5 = load8 [%r4]\n  %r1 = add %r5, 0x1\n  br head\ndone:\n  ret %r1\n}\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -723,22 +734,25 @@ func FuzzEngineDifferential(f *testing.F) {
 					ret, rerr = ip.Call(target, args...)
 				} else {
 					eng := NewEngine()
+					eng.SetFuse(engine != "linked-nofuse")
 					eng.MaxSteps = 20_000
 					ret, rerr = eng.Call(env, target, args...)
 				}
 				return outcome(ret, rerr, env), rerr
 			}
 			ref, rerr := runFuzz("reference")
-			got, eerr := runFuzz("linked")
-			if got.ret != ref.ret || got.errStr != ref.errStr || got.cycles != ref.cycles {
-				t.Fatalf("engines diverge on %s:\n  reference: ret=%#x err=%q cycles=%d\n  linked:    ret=%#x err=%q cycles=%d\nmodule:\n%s",
-					fn.Name, ref.ret, ref.errStr, ref.cycles, got.ret, got.errStr, got.cycles, text)
-			}
-			if !reflect.DeepEqual(got.mem, ref.mem) || !reflect.DeepEqual(got.ports, ref.ports) {
-				t.Fatalf("engines diverge on %s state\nmodule:\n%s", fn.Name, text)
-			}
-			if errors.Is(rerr, ErrStepLimit) != errors.Is(eerr, ErrStepLimit) {
-				t.Fatalf("ErrStepLimit identity diverges on %s\nmodule:\n%s", fn.Name, text)
+			for _, engine := range []string{"linked", "linked-nofuse"} {
+				got, eerr := runFuzz(engine)
+				if got.ret != ref.ret || got.errStr != ref.errStr || got.cycles != ref.cycles {
+					t.Fatalf("engines diverge on %s (%s):\n  reference: ret=%#x err=%q cycles=%d\n  linked:    ret=%#x err=%q cycles=%d\nmodule:\n%s",
+						fn.Name, engine, ref.ret, ref.errStr, ref.cycles, got.ret, got.errStr, got.cycles, text)
+				}
+				if !reflect.DeepEqual(got.mem, ref.mem) || !reflect.DeepEqual(got.ports, ref.ports) {
+					t.Fatalf("engines diverge on %s (%s) state\nmodule:\n%s", fn.Name, engine, text)
+				}
+				if errors.Is(rerr, ErrStepLimit) != errors.Is(eerr, ErrStepLimit) {
+					t.Fatalf("ErrStepLimit identity diverges on %s (%s)\nmodule:\n%s", fn.Name, engine, text)
+				}
 			}
 		}
 	})

@@ -93,11 +93,29 @@ type linkedInstr struct {
 	t1, t2 int       // lowered Blk1/Blk2 (indices into linkedFn.code)
 	callee *linkedFn // pre-resolved direct-call target
 
+	// op2 is the secondary opcode of a fused superinstruction (the
+	// comparison of a cmp+br pair, the ALU op of a const+ALU pair).
+	op2 Opcode
+	// fused holds the original lowered constituents of a
+	// superinstruction, in execution order — the fusion table the
+	// step-limit slow path replays per-instruction charges from. Nil on
+	// ordinary instructions.
+	fused []linkedInstr
+
+	// icTarget/icFn are the site's monomorphic inline cache for
+	// indirect calls: the last resolved (code address, lowered callee)
+	// pair. A hit skips the Env address resolution and the linked-code
+	// lookup; the cache dies with the linked code on every epoch flush,
+	// so it can never outlive the code-space bindings it captured.
+	icTarget uint64
+	icFn     *linkedFn
+
 	// charges is this instruction's own deterministic pre-charge (the
 	// cycles the reference interpreter advances unconditionally before
 	// the instruction can fail or call out), broken down by cost tag.
 	// It aliases a shared per-opcode slice (instrCharges) — never
-	// mutate it. Used only by the step-limit slow path.
+	// mutate it — except on superinstructions, where it is the
+	// link-time concatenation of the constituents' shared slices.
 	charges []tagCharge
 	// segLen > 0 marks a segment head; it counts the instructions in
 	// the segment and segCharges sums their charges per tag (built at
@@ -112,10 +130,14 @@ type tagCharge struct {
 	n   uint64
 }
 
-// linkedFn is a function lowered to a flat code array.
+// linkedFn is a function lowered to a flat code array. calls counts
+// frame entries since this lowering — the raw material of the
+// execution-count profile that guides fusion (Engine.Profile folds the
+// counts of flushed lowerings into its retained profile).
 type linkedFn struct {
-	fn   *Function
-	code []linkedInstr
+	fn    *Function
+	code  []linkedInstr
+	calls uint64
 }
 
 // Shared per-opcode charge slices: every linkedInstr of a given shape
@@ -166,7 +188,8 @@ func endsSegment(op Opcode) bool {
 	switch op {
 	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
 		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpGE, OpSelect,
-		OpMaskGhost, opMaskElided, OpCFILabel, opFuncAddrImm:
+		OpMaskGhost, opMaskElided, OpCFILabel, opFuncAddrImm,
+		opFusedConstALU:
 		return false
 	}
 	return true
@@ -211,21 +234,41 @@ func (e *Engine) link(env Env, fn *Function) *linkedFn {
 		}
 	}
 
-	// Pass 3: segment accounting. Segments begin at block starts (all
-	// branch targets are block starts) and after any instruction that
-	// can fault, call out, or branch.
+	// Pass 2.5: superinstruction fusion, when the profile (or the loop
+	// heuristic) marks the function hot. Runs before segment accounting
+	// so fused charge lists and step weights batch exactly like their
+	// constituents would have.
 	isStart := make([]bool, len(lf.code))
 	for _, b := range fn.Blocks {
 		isStart[starts[b.Name]] = true
 	}
+	if e.shouldFuse(fn) {
+		e.fusePass(lf, isStart)
+	}
+
+	// Pass 3: segment accounting. Segments begin at block starts (all
+	// branch targets are block starts) and after any instruction that
+	// can fault, call out, or branch. A segment's step count is the sum
+	// of its instructions' headSteps (a superinstruction weighs its
+	// constituents), and gap slots — consumed second halves of fused
+	// pairs, never executed — contribute nothing and never head a
+	// segment.
 	head := 0
 	for i := range lf.code {
+		if lf.code[i].op == opFusedGap {
+			if head == i {
+				// The preceding superinstruction ended a segment; the
+				// next one starts after the gap.
+				head = i + 1
+			}
+			continue
+		}
 		if i > head && isStart[i] {
 			// Fallthrough into a block start: close the previous
 			// segment here.
 			head = i
 		}
-		lf.code[head].segLen++
+		lf.code[head].segLen += lf.code[i].headSteps()
 		for _, tc := range lf.code[i].charges {
 			lf.code[head].segCharges = addTagCharge(lf.code[head].segCharges, tc)
 		}
