@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -36,6 +37,8 @@ func main() {
 	engineFlag := flag.String("engine", "linked", "IR execution engine: linked|reference")
 	elideFlag := flag.String("elide", "on", "elide host work of proven-redundant checks: on|off (virtual numbers identical either way)")
 	fuseFlag := flag.String("fuse", "on", "fuse hot instruction idioms into superinstructions: on|off (virtual numbers identical either way)")
+	snapshotFlag := flag.String("snapshot", "", "save=PATH writes a post-boot snapshot bundle; use=PATH warm-starts every measurement system from one (virtual numbers identical either way)")
+	replayFlag := flag.Bool("replay", false, "serve recorded nondeterministic inputs from the snapshot image (needs -snapshot use= of a recorded image)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -45,7 +48,7 @@ func main() {
 			*only, strings.Join(experimentNames, ", "))
 		os.Exit(2)
 	}
-	execCfg, err := kernel.ResolveExecFlags(execFlags(*engineFlag, *elideFlag, *fuseFlag, *hostpar, *cpus))
+	execCfg, err := kernel.ResolveExecFlags(execFlags(*engineFlag, *elideFlag, *fuseFlag, *hostpar, *cpus, *snapshotFlag, *replayFlag))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -96,6 +99,45 @@ func main() {
 		Scale:         scaleName,
 		NumCPUs:       *cpus,
 		HostCPUs:      runtime.NumCPU(),
+	}
+
+	// -snapshot save= writes a post-boot bundle and keeps measuring (a
+	// save run's numbers double as the cold baseline). -snapshot use=
+	// loads one and warm-starts every default-configuration measurement
+	// system from it; virtual numbers are bit-identical either way, so
+	// only the skipped host boot time changes, and that is measured and
+	// reported rather than silently absorbed.
+	var warm *experiments.WarmStart
+	coldBootSec := 0.0
+	switch execCfg.SnapshotMode {
+	case kernel.SnapshotSave:
+		n, err := experiments.SaveSnapBundle(execCfg.SnapshotPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot save: %v\n", err)
+			os.Exit(1)
+		}
+		report.SnapshotBytes = n
+		fmt.Printf("wrote snapshot bundle %s (+.vg, +.shadow): %d bytes\n", execCfg.SnapshotPath, n)
+	case kernel.SnapshotUse:
+		// Price one cold boot per configuration first: the per-boot host
+		// cost is what each warm fork skips.
+		modes := []repro.Mode{repro.Native, repro.VirtualGhost, repro.Shadow}
+		start := time.Now()
+		for _, m := range modes {
+			if _, err := repro.NewSystem(m); err != nil {
+				fmt.Fprintf(os.Stderr, "boot probe: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		coldBootSec = time.Since(start).Seconds() / float64(len(modes))
+		w, err := experiments.UseSnapBundle(execCfg.SnapshotPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot use: %v\n", err)
+			os.Exit(1)
+		}
+		w.Install()
+		warm = w
+		report.SnapshotBytes = w.Bytes()
 	}
 	// timed runs one experiment and captures its host cost: wall clock
 	// plus allocation count/bytes (MemStats deltas, so they include
@@ -311,6 +353,30 @@ func main() {
 		}
 		record("superinstruction_fusion", ns, allocs, ab, metrics)
 	}
+	if run("snap") {
+		var rows []experiments.SnapRow
+		ns, allocs, ab := timed(func() { rows = experiments.SnapDifferential() })
+		fmt.Println(experiments.FormatSnap(rows))
+		metrics := make(map[string]float64, 3*len(rows))
+		for _, r := range rows {
+			// The differential is a hard determinism contract, not a
+			// statistic: any cold-vs-warm difference is a bug, and a
+			// bench run must not report numbers on top of one.
+			if !r.Identical || r.ColdCycles != r.WarmCycles {
+				panic(fmt.Sprintf("snapshot determinism violated: %s cold=%d warm=%d bit-identical=%v",
+					r.Config, r.ColdCycles, r.WarmCycles, r.Identical))
+			}
+			metrics[r.Config+"_image_bytes"] = float64(r.ImageBytes)
+			metrics[r.Config+"_image_cycles"] = float64(r.ImageCycles)
+			metrics[r.Config+"_sealed_pages"] = float64(r.SealedPages)
+		}
+		record("snapshot_differential", ns, allocs, ab, metrics)
+	}
+	if warm != nil {
+		report.BootSkippedSec = coldBootSec * float64(warm.TotalServed())
+		fmt.Printf("warm start: %d systems forked from %s; ~%.2fs of host boot time skipped (%.4fs/boot)\n",
+			warm.TotalServed(), execCfg.SnapshotPath, report.BootSkippedSec, coldBootSec)
+	}
 	if *jsonOut {
 		path := "BENCH_" + report.Date + ".json"
 		if err := experiments.WriteBenchJSON(path, report); err != nil {
@@ -354,13 +420,13 @@ func main() {
 }
 
 // experimentNames are the valid -only values, in run order.
-var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide", "fuse"}
+var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide", "fuse", "snap"}
 
 // execFlags assembles the shared engine-flag set for kernel validation,
 // recording which of -elide/-fuse the user passed explicitly
 // (flag.Visit only sees flags present on the command line).
-func execFlags(engine, elide, fuse string, hostpar bool, cpus int) kernel.ExecFlags {
-	ef := kernel.ExecFlags{Engine: engine, Elide: elide, Fuse: fuse, HostPar: hostpar, CPUs: cpus}
+func execFlags(engine, elide, fuse string, hostpar bool, cpus int, snapshot string, replay bool) kernel.ExecFlags {
+	ef := kernel.ExecFlags{Engine: engine, Elide: elide, Fuse: fuse, HostPar: hostpar, CPUs: cpus, Snapshot: snapshot, Replay: replay}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "elide":

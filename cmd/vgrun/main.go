@@ -18,6 +18,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/libc"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -31,9 +32,11 @@ func main() {
 	fuseFlag := flag.String("fuse", "on", "fuse hot instruction idioms into superinstructions: on|off (virtual numbers identical either way)")
 	breakdown := flag.Bool("breakdown", false, "print per-tag cycle attribution and the per-syscall profile")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of tagged charges")
+	snapshotFlag := flag.String("snapshot", "", "save=PATH records the run into a snapshot image (post-boot state + nondeterministic-input trailer); use=PATH restores one before the workload")
+	replayFlag := flag.Bool("replay", false, "serve the image's recorded nondeterministic inputs back to the workload (needs -snapshot use= of a recorded image)")
 	flag.Parse()
 
-	execCfg, err := kernel.ResolveExecFlags(execFlags(*engineFlag, *elideFlag, *fuseFlag, *hostpar, *cpus))
+	execCfg, err := kernel.ResolveExecFlags(execFlags(*engineFlag, *elideFlag, *fuseFlag, *hostpar, *cpus, *snapshotFlag, *replayFlag))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -66,6 +69,42 @@ func main() {
 		os.Exit(1)
 	}
 	k := sys.Kernel
+
+	// -snapshot save= captures the post-boot state now and records the
+	// workload's nondeterministic inputs (RNG draws, external packets)
+	// into the image trailer, written at exit. -snapshot use= restores a
+	// previously saved image into this machine before the workload; with
+	// -replay the trailer's inputs are served back, re-enacting the
+	// recorded run draw for draw.
+	var (
+		recorder *snapshot.Recorder
+		replayer *snapshot.Replayer
+		saveImg  *snapshot.Image
+		recImage *snapshot.Image
+	)
+	switch execCfg.SnapshotMode {
+	case kernel.SnapshotSave:
+		img, err := snapshot.Capture(sys)
+		if err != nil {
+			fatal(err)
+		}
+		saveImg = img
+		recorder = snapshot.StartRecording(sys)
+	case kernel.SnapshotUse:
+		img, err := snapshot.Load(execCfg.SnapshotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snapshot.Restore(sys, img); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored %s at %d cycles\n", execCfg.SnapshotPath, k.M.Clock.Cycles())
+		if execCfg.Replay {
+			recImage = img
+			replayer = snapshot.StartReplay(sys, img.Record)
+		}
+	}
+
 	start := k.M.Clock.Cycles()
 
 	switch *app {
@@ -107,6 +146,28 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
+	}
+
+	if replayer != nil {
+		replayer.Pump()
+		rngLeft, netLeft := replayer.Remaining()
+		rec := recImage.Record
+		fmt.Printf("replay: served %d/%d rng draws, %d/%d net events\n",
+			len(rec.RNGDraws)-rngLeft, len(rec.RNGDraws),
+			len(rec.NetEvents)-netLeft, len(rec.NetEvents))
+		replayer.Stop()
+	}
+	if recorder != nil {
+		saveImg.Record = recorder.Stop()
+		data, err := snapshot.Encode(saveImg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(execCfg.SnapshotPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote recorded snapshot %s (%d bytes; %d rng draws, %d net events)\n",
+			execCfg.SnapshotPath, len(data), len(saveImg.Record.RNGDraws), len(saveImg.Record.NetEvents))
 	}
 
 	fmt.Printf("mode=%v cpus=%d virtual time=%.3f ms syscalls=%d\n",
@@ -158,8 +219,8 @@ func fatal(err error) {
 // execFlags assembles the shared engine-flag set for kernel validation,
 // recording which of -elide/-fuse the user passed explicitly
 // (flag.Visit only sees flags present on the command line).
-func execFlags(engine, elide, fuse string, hostpar bool, cpus int) kernel.ExecFlags {
-	ef := kernel.ExecFlags{Engine: engine, Elide: elide, Fuse: fuse, HostPar: hostpar, CPUs: cpus}
+func execFlags(engine, elide, fuse string, hostpar bool, cpus int, snapshot string, replay bool) kernel.ExecFlags {
+	ef := kernel.ExecFlags{Engine: engine, Elide: elide, Fuse: fuse, HostPar: hostpar, CPUs: cpus, Snapshot: snapshot, Replay: replay}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "elide":

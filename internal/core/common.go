@@ -3,10 +3,25 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/compiler"
 	"repro/internal/hw"
 )
+
+// sortedGhostVAs returns a thread's ghost-mapped virtual addresses in
+// ascending order. Teardown and inheritance walk the ghost map per page
+// while allocating or returning physical frames, so walking it in map
+// order would make frame assignment depend on Go's map randomization —
+// invisible to the virtual clock but fatal to bit-identical snapshots.
+func sortedGhostVAs(ghost map[hw.Virt]hw.Frame) []hw.Virt {
+	vas := make([]hw.Virt, 0, len(ghost))
+	for va := range ghost {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	return vas
+}
 
 // ErrNoFrameSource is returned when a HAL operation needs frames but the
 // kernel has not registered a FrameSource.

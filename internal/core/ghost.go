@@ -146,7 +146,8 @@ func (vm *VM) InheritGhost(parent, child ThreadID, childRoot hw.Frame) error {
 	}
 	cts := vm.thread(child)
 	cts.root = childRoot
-	for va, f := range pts.ghost {
+	for _, va := range sortedGhostVAs(pts.ghost) {
+		f := pts.ghost[va]
 		if err := vm.rawMap(childRoot, va, f, hw.PTEUser|hw.PTEWrite, vm.DeclarePTP); err != nil {
 			return err
 		}

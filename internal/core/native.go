@@ -187,7 +187,8 @@ func (h *NativeHAL) InheritGhost(parent, child ThreadID, childRoot hw.Frame) err
 	}
 	cts := h.thread(child)
 	cts.root = childRoot
-	for va, f := range pts.ghost {
+	for _, va := range sortedGhostVAs(pts.ghost) {
+		f := pts.ghost[va]
 		if err := h.rawMap(childRoot, va, f, hw.PTEUser|hw.PTEWrite, h.DeclarePTP); err != nil {
 			return err
 		}
@@ -325,7 +326,8 @@ func (h *NativeHAL) EndThread(t ThreadID) {
 	if !ok {
 		return
 	}
-	for va, f := range ts.ghost {
+	for _, va := range sortedGhostVAs(ts.ghost) {
+		f := ts.ghost[va]
 		_ = h.rawUnmap(ts.root, va)
 		if h.m.Mem.Refs(f) == 0 {
 			h.frames.PutFrame(f)

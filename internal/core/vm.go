@@ -111,7 +111,18 @@ func NewVMWithOptions(m *hw.Machine, opts VMOptions) (*VM, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: reserving SVA frames: %w", err)
 		}
-		_ = f
+		if i == 0 {
+			// The first internal frame holds the VM's identity block:
+			// its public key staging area. Deterministic (derived from
+			// the TPM), non-zero, and — like all SVA/ghost frames —
+			// carried sealed in snapshot images, never plaintext.
+			b, err := m.Mem.FrameBytes(f)
+			if err != nil {
+				return nil, err
+			}
+			n := copy(b, "SVA-VM-IDENT\x00")
+			copy(b[n:], vm.keys.pair.Public)
+		}
 	}
 	// The Interrupt Stack Table forces trap state onto a VM-internal
 	// stack regardless of privilege change (paper §5). Each CPU gets

@@ -151,9 +151,9 @@ func (vm *VM) EndThread(t ThreadID) {
 	if !ok {
 		return
 	}
-	for va, f := range ts.ghost {
+	for _, va := range sortedGhostVAs(ts.ghost) {
 		// Best effort: scrubbing failure cannot block process exit.
-		_ = vm.releaseGhostPage(ts, ts.root, va, f)
+		_ = vm.releaseGhostPage(ts, ts.root, va, ts.ghost[va])
 	}
 	delete(vm.threads, t)
 }

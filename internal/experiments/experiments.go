@@ -42,7 +42,17 @@ func FullScale() Scale {
 	return Scale{LMBenchIters: 300, FileCount: 300, HTTPRequests: 40, SSHRuns: 5, PostmarkTxns: 20000}
 }
 
+// newSystem produces a ready-to-measure default-configuration system.
+// With a warm source installed (SetWarmSource, snap.go) the system is
+// forked from a post-boot snapshot image instead of booted; restored
+// machines are bit-identical to freshly booted ones, so every virtual
+// number is unchanged and only host boot time is skipped.
 func newSystem(mode repro.Mode) *repro.System {
+	if warm := currentWarmSource(); warm != nil {
+		if s := warm(mode); s != nil {
+			return s
+		}
+	}
 	s, err := repro.NewSystem(mode)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: boot %v: %v", mode, err))

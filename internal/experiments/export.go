@@ -130,7 +130,11 @@ type BenchEntry struct {
 // v4: adds the superinstruction_fusion entry (global sites_fused/
 // ic_hits/ic_misses/enabled/host_speedup_x plus per-module
 // <name>/sites_fused metrics).
-const BenchSchemaVersion = 4
+// v5: adds snapshot warm start — top-level boot_skipped_sec (host
+// seconds of boot work skipped by forking systems from a snapshot
+// bundle) and snapshot_bytes (encoded bundle size), plus the snap
+// entry (per-config cold/warm/image cycles and bit-identical flag).
+const BenchSchemaVersion = 5
 
 // BenchReport is the cross-PR perf trajectory record written by
 // `vgbench -json` as BENCH_<date>.json.
@@ -143,8 +147,15 @@ type BenchReport struct {
 	// HostCPUs is runtime.NumCPU() on the measuring machine — the hard
 	// ceiling on any host_speedup_* metric (one host core caps every
 	// host speedup at ~1x regardless of virtual CPU count).
-	HostCPUs int          `json:"host_cpus,omitempty"`
-	Entries  []BenchEntry `json:"experiments"`
+	HostCPUs int `json:"host_cpus,omitempty"`
+	// BootSkippedSec is the host time saved by warm-starting measurement
+	// systems from a snapshot bundle (-snapshot use=PATH): cold boots
+	// avoided × measured per-boot host cost. Virtual-clock metrics are
+	// unaffected by warm start — restored machines are bit-identical.
+	BootSkippedSec float64 `json:"boot_skipped_sec,omitempty"`
+	// SnapshotBytes is the encoded size of the bundle used or saved.
+	SnapshotBytes int          `json:"snapshot_bytes,omitempty"`
+	Entries       []BenchEntry `json:"experiments"`
 }
 
 // BreakdownMap converts a measurement ledger to the JSON breakdown

@@ -56,6 +56,7 @@ var securityVectors = []securityVector{
 		})
 	}},
 	{"stale-tlb", staleTLBRow},
+	{"snap-tamper", func(int) SecurityRow { return vectorRow("snapshot tamper", runSnapTamper) }},
 }
 
 // SecurityVectorNames returns the valid `-only` keys, in suite order.

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/apps/lmbench"
+	"repro/internal/kernel"
+	"repro/internal/libc"
+	"repro/internal/snapshot"
+)
+
+// This file is the experiments-harness side of the snapshot subsystem
+// (internal/snapshot, DESIGN.md §18): the cold-vs-warm differential
+// experiment, the warm-start source that lets every measurement fork
+// from a post-boot image instead of booting, and the tampered-snapshot
+// security vector.
+
+// --- warm start --------------------------------------------------------
+
+// WarmSource produces a ready-to-measure system for a mode, or nil to
+// fall back to a cold boot. It must be safe for concurrent calls
+// (Scale.Parallel measurements fan out over host goroutines).
+type WarmSource func(mode repro.Mode) *repro.System
+
+// warmSource holds the installed WarmSource (nil when cold-booting).
+var warmSource atomic.Value // of WarmSource
+
+// SetWarmSource installs (or, with nil, removes) the warm-start hook
+// consulted by every default-configuration system the experiments boot.
+// Restored systems are bit-identical to freshly booted ones — the
+// snapshot round-trip differential asserts it — so every virtual number
+// an experiment reports is unchanged; only host boot time is skipped.
+func SetWarmSource(fn WarmSource) {
+	warmSource.Store(fn)
+}
+
+func currentWarmSource() WarmSource {
+	fn, _ := warmSource.Load().(WarmSource)
+	return fn
+}
+
+// SnapBundlePaths maps each configuration to its image path under one
+// user-supplied base path (the native image takes the base itself, so
+// `-snapshot use=PATH` probes a real image file).
+func SnapBundlePaths(base string) map[repro.Mode]string {
+	return map[repro.Mode]string{
+		repro.Native:       base,
+		repro.VirtualGhost: base + ".vg",
+		repro.Shadow:       base + ".shadow",
+	}
+}
+
+// SaveSnapBundle boots each configuration to its post-boot quiescent
+// point and writes one image per mode, returning the total encoded
+// size.
+func SaveSnapBundle(base string) (int, error) {
+	total := 0
+	for _, mode := range []repro.Mode{repro.Native, repro.VirtualGhost, repro.Shadow} {
+		sys, err := repro.NewSystem(mode)
+		if err != nil {
+			return 0, err
+		}
+		_, n, err := snapshot.Save(sys, SnapBundlePaths(base)[mode])
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// WarmStart is a loaded snapshot bundle acting as a WarmSource: each
+// system it serves is forked from the mode's image with copy-on-write
+// page sharing, so parallel measurements share one machine's worth of
+// boot-state pages.
+type WarmStart struct {
+	images map[repro.Mode]*snapshot.Image
+	bytes  int
+
+	mu     sync.Mutex
+	served map[repro.Mode]int
+}
+
+// UseSnapBundle loads a bundle written by SaveSnapBundle.
+func UseSnapBundle(base string) (*WarmStart, error) {
+	ws := &WarmStart{
+		images: make(map[repro.Mode]*snapshot.Image),
+		served: make(map[repro.Mode]int),
+	}
+	for mode, path := range SnapBundlePaths(base) {
+		img, err := snapshot.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if img.Mode != mode {
+			return nil, fmt.Errorf("experiments: %s holds a %v image, want %v", path, img.Mode, mode)
+		}
+		ws.images[mode] = img
+		data, err := snapshot.Encode(img)
+		if err != nil {
+			return nil, err
+		}
+		ws.bytes += len(data)
+	}
+	return ws, nil
+}
+
+// Install registers the bundle as the experiments' warm source.
+func (w *WarmStart) Install() { SetWarmSource(w.Serve) }
+
+// Serve forks a fresh system from the mode's image.
+func (w *WarmStart) Serve(mode repro.Mode) *repro.System {
+	img, ok := w.images[mode]
+	if !ok {
+		return nil
+	}
+	sys, err := snapshot.Fork(img, repro.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: warm fork %v: %v", mode, err))
+	}
+	w.mu.Lock()
+	w.served[mode]++
+	w.mu.Unlock()
+	return sys
+}
+
+// Bytes is the bundle's total encoded size.
+func (w *WarmStart) Bytes() int { return w.bytes }
+
+// Served reports how many warm systems were handed out, by mode.
+func (w *WarmStart) Served() map[repro.Mode]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[repro.Mode]int, len(w.served))
+	for m, n := range w.served {
+		out[m] = n
+	}
+	return out
+}
+
+// TotalServed sums Served over modes.
+func (w *WarmStart) TotalServed() int {
+	n := 0
+	for _, c := range w.Served() {
+		n += c
+	}
+	return n
+}
+
+// --- cold-vs-warm differential ----------------------------------------
+
+// SnapRow is one configuration's snapshot round-trip differential.
+type SnapRow struct {
+	Config string
+	// ColdCycles / WarmCycles are the cumulative virtual clocks of the
+	// uninterrupted and the snapshotted run after the same workload.
+	ColdCycles uint64
+	WarmCycles uint64
+	// ImageCycles is the virtual clock frozen into the image — the work
+	// a warm start does not redo.
+	ImageCycles uint64
+	ImageBytes  int
+	SealedPages int
+	// Identical reports whether the two final machine states are
+	// byte-for-byte equal (whole re-encoded image compared, not just
+	// the clock).
+	Identical bool
+}
+
+// snapWorkload is the fixed differential workload: file I/O, fork+exit
+// and syscall traffic, enough to touch the scheduler, the FS, the
+// buffer cache and the HAL on both sides of the snap point.
+func snapWorkload(k *kernel.Kernel) {
+	lmbench.NullSyscall(k, 32)
+	lmbench.OpenClose(k, 8)
+	lmbench.ForkExit(k, 2)
+}
+
+// SnapDifferential runs the snapshot round-trip differential on all
+// three configurations: boot, snapshot, restore into a fresh machine,
+// run the same workload cold and warm, and compare the entire final
+// machine state. Identical=false in any row is a determinism bug.
+func SnapDifferential() []SnapRow {
+	modes := []struct {
+		name string
+		mode repro.Mode
+	}{
+		{"native", repro.Native},
+		{"vghost", repro.VirtualGhost},
+		{"shadow", repro.Shadow},
+	}
+	rows := make([]SnapRow, len(modes))
+	for i, m := range modes {
+		cold := newColdSystem(m.mode)
+		snapWorkload(cold.Kernel)
+		coldState := mustEncode(cold)
+
+		src := newColdSystem(m.mode)
+		img, err := snapshot.Capture(src)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: snap capture %s: %v", m.name, err))
+		}
+		data, err := snapshot.Encode(img)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: snap encode %s: %v", m.name, err))
+		}
+		warm, err := snapshot.Fork(img, repro.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: snap fork %s: %v", m.name, err))
+		}
+		snapWorkload(warm.Kernel)
+		warmState := mustEncode(warm)
+
+		rows[i] = SnapRow{
+			Config:      m.name,
+			ColdCycles:  cold.Machine.Clock.Cycles(),
+			WarmCycles:  warm.Machine.Clock.Cycles(),
+			ImageCycles: img.Machine.Clock.Cycles,
+			ImageBytes:  len(data),
+			SealedPages: len(img.SealedPages),
+			Identical:   bytes.Equal(coldState, warmState),
+		}
+	}
+	return rows
+}
+
+// newColdSystem boots a system bypassing any installed warm source (the
+// differential must compare against a genuine cold boot).
+func newColdSystem(mode repro.Mode) *repro.System {
+	s, err := repro.NewSystem(mode)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: boot %v: %v", mode, err))
+	}
+	return s
+}
+
+func mustEncode(sys *repro.System) []byte {
+	img, err := snapshot.Capture(sys)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: capture: %v", err))
+	}
+	data, err := snapshot.Encode(img)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: encode: %v", err))
+	}
+	return data
+}
+
+// FormatSnap renders the differential table.
+func FormatSnap(rows []SnapRow) string {
+	var sb strings.Builder
+	sb.WriteString("Snapshot round-trip differential (cold boot vs fork-from-image, identical workload)\n")
+	fmt.Fprintf(&sb, "%-8s %14s %14s %14s %11s %7s %s\n",
+		"Config", "Cold cycles", "Warm cycles", "Image cycles", "Image B", "Sealed", "Bit-identical")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %14d %14d %14d %11d %7d %v\n",
+			r.Config, r.ColdCycles, r.WarmCycles, r.ImageCycles, r.ImageBytes, r.SealedPages, r.Identical)
+	}
+	return sb.String()
+}
+
+// --- tampered-snapshot security vector --------------------------------
+
+// snapSecret is the ghost secret the tamper vector plants.
+const snapSecret = "SNAP-TAMPER-SECRET-0xBEEF-41"
+
+// runSnapTamper plays the hostile-OS move against a snapshot image: the
+// OS (which stores the image) decodes it, rewrites protected memory,
+// recomputes the integrity checksum — trivial, it is not a secret — and
+// feeds the image back to a restore. Natively the victim's ghost pages
+// travel in the image as plaintext the OS can read and rewrite, and the
+// tampered image restores without complaint. Under Virtual Ghost the
+// ghost remnants were scrubbed before the frames ever returned to the
+// OS, the surviving protected frames are sealed under a TPM-rooted key,
+// and a single flipped bit makes the restore refuse the image.
+func runSnapTamper(sys *repro.System) (bool, string) {
+	k := sys.Kernel
+	if _, err := k.Spawn("victim", func(p *kernel.Proc) {
+		l, err := libc.NewGhosting(p)
+		if err != nil {
+			return
+		}
+		g, err := l.Malloc(64)
+		if err != nil {
+			return
+		}
+		l.WriteGhost(g, []byte(snapSecret))
+		p.Compute(1_000)
+	}); err != nil {
+		return false, fmt.Sprintf("victim spawn failed: %v", err)
+	}
+	k.RunUntilIdle()
+
+	img, err := snapshot.Capture(sys)
+	if err != nil {
+		return false, fmt.Sprintf("capture failed: %v", err)
+	}
+
+	// Attacker step 1: scan the image's plaintext frames for the ghost
+	// secret (deterministic frame order).
+	secret := []byte(snapSecret)
+	frames := make([]uint64, 0, len(img.Machine.Mem.Pages))
+	for f := range img.Machine.Mem.Pages {
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	for _, f := range frames {
+		b := img.Machine.Mem.Pages[f]
+		i := bytes.Index(b, secret)
+		if i < 0 {
+			continue
+		}
+		// Found in the clear: flip one byte of it, re-checksum, restore.
+		b[i] ^= 0xff
+		if err := tamperRestore(sys.Mode, img); err != nil {
+			return false, fmt.Sprintf("tampered plaintext refused: %v", err)
+		}
+		return true, fmt.Sprintf("ghost secret read from image frame %d; tampered image restored cleanly", f)
+	}
+
+	// No plaintext secret: protected frames travel sealed. Flip one bit
+	// of the lowest sealed blob and try the same move.
+	if len(img.SealedPages) == 0 {
+		return false, "no plaintext secret in image and no sealed frames to attack"
+	}
+	sealed := make([]uint64, 0, len(img.SealedPages))
+	for f := range img.SealedPages {
+		sealed = append(sealed, f)
+	}
+	sort.Slice(sealed, func(i, j int) bool { return sealed[i] < sealed[j] })
+	blob := img.SealedPages[sealed[0]]
+	blob[len(blob)/2] ^= 0x01
+	if err := tamperRestore(sys.Mode, img); err != nil {
+		return false, fmt.Sprintf("secret scrubbed from image; tampered sealed frame refused (%v)", err)
+	}
+	return true, "tampered sealed frame accepted"
+}
+
+// tamperRestore re-encodes the (mutated) image — recomputing the
+// integrity checksum exactly as the attacker would — and restores it
+// onto a freshly booted machine.
+func tamperRestore(mode repro.Mode, img *snapshot.Image) error {
+	data, err := snapshot.Encode(img)
+	if err != nil {
+		return err
+	}
+	img2, err := snapshot.Decode(data)
+	if err != nil {
+		return err
+	}
+	return snapshot.Restore(newColdSystem(mode), img2)
+}

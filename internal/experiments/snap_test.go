@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestGoldenWarmEquivalence is the strongest warm-start claim made
+// executable: with every golden-suite system forked from a snapshot
+// bundle instead of booted, each pinned measurement — value AND
+// cumulative cycle counter, boot included — must equal the checked-in
+// golden file bit for bit. Warm start changes host time only.
+func TestGoldenWarmEquivalence(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "warm.vgsnap")
+	if _, err := SaveSnapBundle(base); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := UseSnapBundle(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Install()
+	defer SetWarmSource(nil)
+
+	got := collectGolden()
+
+	if ws.TotalServed() == 0 {
+		t.Fatal("warm source installed but no system was served from it")
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("bad golden file: %v", err)
+	}
+	for n, w := range want {
+		g, ok := got[n]
+		if !ok {
+			t.Errorf("%s: missing from warm run", n)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: warm start moved the virtual clock:\n  golden: value=%v cycles=%d\n  warm:   value=%v cycles=%d",
+				n, w.Value, w.Cycles, g.Value, g.Cycles)
+		}
+	}
+}
+
+// TestSnapDifferential runs the cold-vs-warm differential on all three
+// configurations and requires byte-identical final machine state, not
+// just equal clocks.
+func TestSnapDifferential(t *testing.T) {
+	rows := SnapDifferential()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: cold and warm final states differ", r.Config)
+		}
+		if r.ColdCycles != r.WarmCycles {
+			t.Errorf("%s: cold ran to %d cycles, warm to %d", r.Config, r.ColdCycles, r.WarmCycles)
+		}
+		if r.ImageCycles == 0 || r.ImageCycles >= r.ColdCycles {
+			t.Errorf("%s: image cycles %d not inside (0, %d)", r.Config, r.ImageCycles, r.ColdCycles)
+		}
+		if r.ImageBytes == 0 {
+			t.Errorf("%s: empty image", r.Config)
+		}
+		if r.Config == "vghost" && r.SealedPages == 0 {
+			t.Error("vghost image carries no sealed pages; the VM identity frame should travel sealed")
+		}
+		if r.Config == "native" && r.SealedPages != 0 {
+			t.Errorf("native image carries %d sealed pages", r.SealedPages)
+		}
+	}
+	out := FormatSnap(rows)
+	if !strings.Contains(out, "vghost") || !strings.Contains(out, "Bit-identical") {
+		t.Errorf("FormatSnap output malformed:\n%s", out)
+	}
+}
+
+// TestSnapTamperDefended is the security-matrix row: decode the image,
+// flip protected state, re-checksum (trivial for the OS that stores the
+// image), restore. Native accepts the tampered image — the ghost secret
+// travels in it as plaintext; Virtual Ghost scrubbed the plaintext and
+// refuses the flipped sealed frame.
+func TestSnapTamperDefended(t *testing.T) {
+	row := vectorRow("snapshot tamper", runSnapTamper)
+	if !strings.HasPrefix(row.NativeResult, "STOLEN") {
+		t.Errorf("native: want the tampered image accepted, got %q", row.NativeResult)
+	}
+	if !strings.HasPrefix(row.VGResult, "safe") {
+		t.Errorf("vg: want the tampered image refused, got %q", row.VGResult)
+	}
+	if !row.Defended {
+		t.Error("snapshot tamper row not defended")
+	}
+}
+
+// TestSnapTamperInMatrix checks the vector is registered in the suite.
+func TestSnapTamperInMatrix(t *testing.T) {
+	for _, name := range SecurityVectorNames() {
+		if name == "snap-tamper" {
+			return
+		}
+	}
+	t.Fatal("snap-tamper missing from SecurityVectorNames")
+}
+
+// TestWarmStartWrongMode checks the warm source declines modes its
+// bundle lacks, falling back to a cold boot rather than panicking.
+func TestWarmStartWrongMode(t *testing.T) {
+	ws := &WarmStart{}
+	if s := ws.Serve(repro.Native); s != nil {
+		t.Fatal("empty bundle served a system")
+	}
+}

@@ -102,6 +102,12 @@ type Memory struct {
 	nframes  int
 	clock    *Clock
 	ioFrames map[Frame]MMIOHandler
+	// shared marks frames whose backing page is aliased into an
+	// immutable snapshot image (fork-from-snapshot). The first write to
+	// a shared frame copies the page (copy-on-write) so the image — and
+	// every sibling machine forked from it — never observes the store.
+	// nil on machines that were not restored with page sharing.
+	shared []bool
 	// ptWatch, when set, is called with any FramePageTable frame whose
 	// contents may have changed through a physical write (stores,
 	// ZeroFrame, FrameBytes hand-out) or whose page-table role started
@@ -179,12 +185,21 @@ func (m *Memory) notifyPT(f Frame) {
 func (m *Memory) page(f Frame) *[PageSize]byte { return m.pages[f] }
 
 // ensurePage returns the backing storage of frame f, allocating it on
-// first write.
+// first write and breaking copy-on-write sharing: the returned page is
+// always private to this machine, so every write path may store through
+// it directly.
 func (m *Memory) ensurePage(f Frame) *[PageSize]byte {
 	pg := m.pages[f]
 	if pg == nil {
 		pg = new([PageSize]byte)
 		m.pages[f] = pg
+		return pg
+	}
+	if m.shared != nil && m.shared[f] {
+		cp := *pg
+		pg = &cp
+		m.pages[f] = pg
+		m.shared[f] = false
 	}
 	return pg
 }
@@ -430,7 +445,14 @@ func (m *Memory) ZeroFrame(f Frame) error {
 		return err
 	}
 	if pg := m.page(f); pg != nil {
-		clear(pg[:])
+		if m.shared != nil && m.shared[f] {
+			// Shared with a snapshot image: dropping the alias zeroes
+			// this machine's view without touching the image's page.
+			m.pages[f] = nil
+			m.shared[f] = false
+		} else {
+			clear(pg[:])
+		}
 	}
 	if m.ftype[f] == FramePageTable {
 		m.notifyPT(f)

@@ -23,6 +23,11 @@ type NIC struct {
 	bytesReceived  uint64
 	packetsDropped uint64
 	queueLimit     int
+
+	// recvTap, when set, observes every packet accepted into rx — the
+	// record layer's view of external input arriving on the wire. Pure
+	// host bookkeeping, charges nothing.
+	recvTap func(Packet)
 }
 
 // Packet is one frame on the wire.
@@ -79,7 +84,19 @@ func (n *NIC) deliver(p Packet) {
 	n.bytesReceived += uint64(len(p.Payload))
 	cp := Packet{Port: p.Port, Payload: append([]byte(nil), p.Payload...)}
 	n.rx = append(n.rx, cp)
+	if n.recvTap != nil {
+		n.recvTap(cp)
+	}
 }
+
+// SetRecvTap installs (or, with nil, removes) the ingress observer used
+// by the record layer.
+func (n *NIC) SetRecvTap(fn func(Packet)) { n.recvTap = fn }
+
+// Inject delivers a packet into the receive queue as if it had arrived
+// from the wire, charging nothing — the replay layer's re-enactment of
+// a recorded external arrival.
+func (n *NIC) Inject(p Packet) { n.deliver(p) }
 
 // Receive dequeues the next packet destined for port, searching the rx
 // queue in order. It reports ok=false if none is queued.

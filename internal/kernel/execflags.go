@@ -1,6 +1,9 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // This file centralizes the validation of the engine-related
 // command-line flags shared by cmd/vgrun, cmd/vgbench and cmd/vgattack.
@@ -22,7 +25,16 @@ type ExecFlags struct {
 	FuseSet  bool   // -fuse appeared explicitly
 	HostPar  bool   // -hostpar
 	CPUs     int    // -cpus (validated against -hostpar)
+	Snapshot string // -snapshot: "save=PATH" | "use=PATH" (empty means off)
+	Replay   bool   // -replay (needs -snapshot use= of a recorded image)
 }
+
+// Snapshot modes resolved from the -snapshot flag.
+const (
+	SnapshotOff  = ""
+	SnapshotSave = "save"
+	SnapshotUse  = "use"
+)
 
 // ExecConfig is the validated execution configuration. Apply installs
 // it as the package defaults picked up by subsequently booted kernels.
@@ -31,6 +43,16 @@ type ExecConfig struct {
 	Elide   bool
 	Fuse    bool
 	HostPar bool
+	// SnapshotMode is SnapshotOff, SnapshotSave or SnapshotUse;
+	// SnapshotPath is the image path. For SnapshotUse the image file
+	// has already been probed: it exists and its header matches this
+	// build's format version.
+	SnapshotMode string
+	SnapshotPath string
+	// Replay requests serving the image's recorded nondeterministic
+	// inputs; validation guarantees the image's header carries the
+	// recorded flag.
+	Replay bool
 }
 
 // ResolveExecFlags validates the flag combination and resolves it to a
@@ -82,7 +104,43 @@ func ResolveExecFlags(f ExecFlags) (ExecConfig, error) {
 		return cfg, fmt.Errorf("kernel: -hostpar needs multi-CPU machines; pass -cpus > 1")
 	}
 	cfg.HostPar = f.HostPar
+	if err := resolveSnapshotFlags(f, &cfg); err != nil {
+		return cfg, err
+	}
 	return cfg, nil
+}
+
+// resolveSnapshotFlags validates -snapshot/-replay. A use-mode image is
+// probed up front so a missing file and a version-mismatched one fail
+// the same way at flag time — one shared diagnostic naming the flag —
+// instead of two different errors deep inside a half-started run.
+func resolveSnapshotFlags(f ExecFlags, cfg *ExecConfig) error {
+	if f.Snapshot != "" {
+		mode, path, ok := strings.Cut(f.Snapshot, "=")
+		if !ok || path == "" || (mode != SnapshotSave && mode != SnapshotUse) {
+			return fmt.Errorf("kernel: -snapshot wants save=PATH or use=PATH, got %q", f.Snapshot)
+		}
+		cfg.SnapshotMode, cfg.SnapshotPath = mode, path
+	}
+	if cfg.SnapshotMode == SnapshotUse {
+		if _, err := ProbeSnapshotHeader(cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("kernel: -snapshot use=%s: unusable image: %v", cfg.SnapshotPath, err)
+		}
+	}
+	if f.Replay {
+		if cfg.SnapshotMode != SnapshotUse {
+			return fmt.Errorf("kernel: -replay needs an image to replay from; pass -snapshot use=PATH")
+		}
+		hdr, err := ProbeSnapshotHeader(cfg.SnapshotPath)
+		if err != nil {
+			return fmt.Errorf("kernel: -snapshot use=%s: unusable image: %v", cfg.SnapshotPath, err)
+		}
+		if !hdr.Recorded() {
+			return fmt.Errorf("kernel: -replay needs a recorded image, and %s carries no record trailer", cfg.SnapshotPath)
+		}
+		cfg.Replay = true
+	}
+	return nil
 }
 
 // Apply installs the configuration as the package defaults used by

@@ -16,6 +16,7 @@
 package kernel
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 
@@ -633,6 +634,12 @@ type Module struct {
 	// so per-module fusion tallies (ModuleFusion) can be assembled from
 	// the engine's per-function counters.
 	fnNames []string
+	// irDigest is the SHA-256 of the module's canonical IR text,
+	// recorded at load time. The ordered (name, digest) list is the
+	// kernel's code-epoch identity: a snapshot taken on one kernel may
+	// only be restored onto a kernel whose module history matches
+	// (snapstate.go).
+	irDigest [32]byte
 }
 
 // moduleTranslation abstracts over compiler.Translation to keep the
@@ -662,6 +669,7 @@ func (k *Kernel) LoadModule(m *vir.Module) (*Module, error) {
 	for _, fn := range m.Funcs {
 		mod.fnNames = append(mod.fnNames, fn.Name)
 	}
+	mod.irDigest = sha256.Sum256([]byte(vir.FormatModule(m)))
 	k.modules = append(k.modules, mod)
 	return mod, nil
 }

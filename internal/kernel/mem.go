@@ -2,10 +2,26 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 )
+
+// sortedPageVAs returns the mapped virtual addresses in ascending
+// order. Paths that allocate or free physical frames per page must walk
+// the page map in this order, not Go's randomized map order: the frame
+// allocator hands out and reclaims frames in call order, so iteration
+// order becomes physical frame assignment, and snapshot images are
+// bit-for-bit comparisons of that state.
+func sortedPageVAs(pages map[hw.Virt]hw.Frame) []hw.Virt {
+	vas := make([]hw.Virt, 0, len(pages))
+	for va := range pages {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	return vas
+}
 
 // This file is the kernel's virtual-memory subsystem: demand paging for
 // heap/stack/anonymous/file mappings, the page-fault handler, fork-time
@@ -74,7 +90,8 @@ func (k *Kernel) dupAddressSpace(parent, child *Proc) error {
 	child.allocPtr = parent.allocPtr
 	child.mmapNext = parent.mmapNext
 	child.ghostBrk = parent.ghostBrk
-	for page, pf := range parent.pages {
+	for _, page := range sortedPageVAs(parent.pages) {
+		pf := parent.pages[page]
 		k.HAL.KAccess(workForkPerPage)
 		cf, err := k.mapUserPage(child, page)
 		if err != nil {
@@ -97,7 +114,8 @@ func (k *Kernel) dupAddressSpace(parent, child *Proc) error {
 // releaseUserMemory unmaps and frees every materialized user page and
 // resets the VMA list (exit and exec both use this).
 func (k *Kernel) releaseUserMemory(p *Proc) {
-	for page, f := range p.pages {
+	for _, page := range sortedPageVAs(p.pages) {
+		f := p.pages[page]
 		if err := k.HAL.UnmapPage(p.root, page); err != nil {
 			panic(fmt.Sprintf("kernel: unmap %#x: %v", uint64(page), err))
 		}

@@ -1,0 +1,111 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/kernel"
+)
+
+// Image file layout:
+//
+//	magic(8) | version(4 LE) | flags(4 LE) | payload | sha256(32)
+//
+// The header constants live in the kernel package (snapshotmeta.go) so
+// flag validation can probe image files without importing this package.
+// The payload is the Image struct as JSON: Go's encoder emits struct
+// fields in declaration order and sorts map keys, and every set-valued
+// field is sorted at capture, so equal machine states produce
+// byte-identical images. The trailing SHA-256 covers header + payload;
+// Decode verifies it before parsing a single payload byte, so any
+// corruption or truncation is rejected before any state is touched.
+//
+// The checksum is an *integrity* check against accidental corruption,
+// not an authenticity seal — anyone can recompute it after mutating a
+// decoded image, which is precisely the hostile-OS move the
+// tampered-snapshot security row plays. Tamper protection for the
+// frames that need it comes from the sealed-page layer (AES-GCM under a
+// TPM-rooted key, core.SnapshotSealer), which a re-checksummed image
+// cannot forge.
+
+// ErrCorruptImage reports a checksum mismatch or truncation.
+var ErrCorruptImage = errors.New("snapshot: image corrupt (checksum mismatch or truncated)")
+
+const checksumSize = sha256.Size
+
+// Encode serializes an image into the versioned, checksummed file
+// format.
+func Encode(img *Image) ([]byte, error) {
+	payload, err := json.Marshal(img)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	var flags uint32
+	if img.Record != nil {
+		flags |= kernel.SnapshotFlagRecorded
+	}
+	hdr := kernel.PutSnapshotHeader(kernel.SnapshotHeader{
+		Version: kernel.SnapshotImageVersion,
+		Flags:   flags,
+	})
+	out := make([]byte, 0, len(hdr)+len(payload)+checksumSize)
+	out = append(out, hdr[:]...)
+	out = append(out, payload...)
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...), nil
+}
+
+// Decode parses an encoded image. The checksum is verified over the
+// whole prefix before anything else — a flipped bit anywhere in the
+// file, or a truncated file, is rejected here, never half-applied.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < kernel.SnapshotHeaderSize+checksumSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptImage, len(data))
+	}
+	body, sum := data[:len(data)-checksumSize], data[len(data)-checksumSize:]
+	if sha256.Sum256(body) != [checksumSize]byte(sum) {
+		return nil, ErrCorruptImage
+	}
+	hdr, err := kernel.ParseSnapshotHeader(body)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	img := &Image{}
+	if err := json.Unmarshal(body[kernel.SnapshotHeaderSize:], img); err != nil {
+		return nil, fmt.Errorf("snapshot: payload: %w", err)
+	}
+	if hdr.Recorded() != (img.Record != nil) {
+		return nil, fmt.Errorf("snapshot: header recorded flag %v but trailer presence %v", hdr.Recorded(), img.Record != nil)
+	}
+	return img, nil
+}
+
+// Save captures sys and writes the encoded image to path, returning the
+// image and its encoded size.
+func Save(sys *repro.System, path string) (*Image, int, error) {
+	img, err := Capture(sys)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := Encode(img)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, 0, fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	return img, len(data), nil
+}
+
+// Load reads and decodes an image file.
+func Load(path string) (*Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read image: %w", err)
+	}
+	return Decode(data)
+}

@@ -1,0 +1,125 @@
+package snapshot
+
+import (
+	"repro"
+	"repro/internal/hw"
+)
+
+// This file is the record-replay layer. A run of the simulation is
+// deterministic given its inputs; the inputs that are *not* derivable
+// from the image are the nondeterministic ones — values drawn from the
+// hardware RNG (whose internal state the image does capture, but which
+// an external TRNG or an attacker-visible source may override) and
+// packets arriving from outside the machine (a peer NIC the image does
+// not contain). A Recorder taps both between Capture and Save; the
+// resulting Record travels in the image trailer, and a Replayer serves
+// it back so a restored machine re-enacts the exact execution, draw for
+// draw and packet for packet.
+//
+// Console output is not recorded: it is an *output* of the machine
+// (fully reproduced by replaying the inputs), not an input.
+
+// NetEvent is one external packet arrival, stamped with the virtual
+// cycle count at which the NIC accepted it.
+type NetEvent struct {
+	Cycles  uint64 `json:"cycles"`
+	Port    uint16 `json:"port"`
+	Payload []byte `json:"payload"`
+}
+
+// Record is the nondeterministic-input trailer of an image.
+type Record struct {
+	RNGDraws  []uint64   `json:"rng_draws,omitempty"`
+	NetEvents []NetEvent `json:"net_events,omitempty"`
+}
+
+// Recorder captures nondeterministic inputs on a live system.
+type Recorder struct {
+	m   *hw.Machine
+	rec Record
+}
+
+// StartRecording installs taps on sys's RNG and NIC ingress. Taps are
+// pure host-side observers: they charge nothing and change nothing, so
+// a recorded run's virtual numbers equal an unrecorded run's.
+func StartRecording(sys *repro.System) *Recorder {
+	r := &Recorder{m: sys.Machine}
+	sys.Machine.RNG.SetTap(func(v uint64) {
+		r.rec.RNGDraws = append(r.rec.RNGDraws, v)
+	})
+	sys.Machine.NIC.SetRecvTap(func(p hw.Packet) {
+		r.rec.NetEvents = append(r.rec.NetEvents, NetEvent{
+			Cycles:  r.m.Clock.Cycles(),
+			Port:    p.Port,
+			Payload: append([]byte(nil), p.Payload...),
+		})
+	})
+	return r
+}
+
+// Stop removes the taps and returns the captured record (attach it to
+// an Image before Encode).
+func (r *Recorder) Stop() *Record {
+	r.m.RNG.SetTap(nil)
+	r.m.NIC.SetRecvTap(nil)
+	rec := r.rec
+	return &rec
+}
+
+// Replayer serves a Record back into a restored system.
+type Replayer struct {
+	m      *hw.Machine
+	rec    *Record
+	rngPos int
+	netPos int
+}
+
+// StartReplay installs the record's RNG draws as the machine's entropy
+// source: each draw is served in recorded order without advancing the
+// PRNG state (modeling the external TRNG whose outputs were recorded);
+// when the record is exhausted the machine falls back to its own
+// deterministic PRNG. Recorded packet arrivals are delivered by Pump.
+func StartReplay(sys *repro.System, rec *Record) *Replayer {
+	rp := &Replayer{m: sys.Machine, rec: rec}
+	sys.Machine.RNG.SetSource(func() (uint64, bool) {
+		if rp.rngPos < len(rec.RNGDraws) {
+			v := rec.RNGDraws[rp.rngPos]
+			rp.rngPos++
+			return v, true
+		}
+		return 0, false
+	})
+	return rp
+}
+
+// Pump injects every recorded packet whose arrival cycle is due at the
+// machine's current virtual time, returning how many were delivered.
+// Drivers call it between scheduler steps (where the kernel polls the
+// NIC anyway), so replayed arrivals interleave with execution at the
+// same virtual times they originally did.
+func (rp *Replayer) Pump() int { return rp.PumpTo(rp.m.Clock.Cycles()) }
+
+// PumpTo injects recorded packets with arrival cycles <= cycles.
+// Injection charges nothing: the receive cost was charged when the
+// packet originally arrived and is part of the recorded timeline.
+func (rp *Replayer) PumpTo(cycles uint64) int {
+	n := 0
+	for rp.netPos < len(rp.rec.NetEvents) {
+		ev := rp.rec.NetEvents[rp.netPos]
+		if ev.Cycles > cycles {
+			break
+		}
+		rp.m.NIC.Inject(hw.Packet{Port: ev.Port, Payload: append([]byte(nil), ev.Payload...)})
+		rp.netPos++
+		n++
+	}
+	return n
+}
+
+// Remaining reports how many recorded inputs have not been served yet.
+func (rp *Replayer) Remaining() (rngDraws, netEvents int) {
+	return len(rp.rec.RNGDraws) - rp.rngPos, len(rp.rec.NetEvents) - rp.netPos
+}
+
+// Stop removes the replay source; the machine's own PRNG takes over.
+func (rp *Replayer) Stop() { rp.m.RNG.SetSource(nil) }

@@ -43,6 +43,13 @@ func NewNonceSource(salt [4]byte) *NonceSource {
 	return &NonceSource{salt: salt}
 }
 
+// Counter returns how many nonces have been issued. Snapshot/restore
+// persists it so a restored VM never reissues a nonce it already used.
+func (n *NonceSource) Counter() uint64 { return n.counter }
+
+// SetCounter restores the issue counter from a snapshot.
+func (n *NonceSource) SetCounter(v uint64) { n.counter = v }
+
 // Next returns the next unique nonce.
 func (n *NonceSource) Next() [NonceSize]byte {
 	var out [NonceSize]byte

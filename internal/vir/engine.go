@@ -100,6 +100,13 @@ func (e *Engine) flushCache() {
 	clear(e.cache)
 }
 
+// ResetCaches discards every cached lowering without changing any
+// setting (call counts fold into the retained profile first). Snapshot
+// restore calls it: re-linking against the restored kernel is pure
+// host-side work the virtual clock never sees, so a deterministic cold
+// start is always safe and never stale.
+func (e *Engine) ResetCaches() { e.flushCache() }
+
 // SetElide switches proof-carrying check elision on or off. Toggling
 // flushes the linked-code cache so the setting applies to everything
 // executed afterwards.
