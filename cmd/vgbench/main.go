@@ -353,6 +353,35 @@ func main() {
 		}
 		record("superinstruction_fusion", ns, allocs, ab, metrics)
 	}
+	if run("c10k") {
+		var cmp experiments.C10KCompare
+		ns, allocs, ab := timed(func() { cmp = experiments.C10K(sc) })
+		fmt.Println(experiments.FormatC10K(cmp))
+		if *csvDir != "" {
+			export(experiments.ExportC10K(*csvDir, cmp))
+		}
+		metrics := map[string]float64{"conns": float64(cmp.Conns)}
+		for name, r := range map[string]experiments.C10KResult{"native": cmp.Native, "vghost": cmp.VG} {
+			metrics[name+"/peak_conns"] = float64(r.PeakConns)
+			metrics[name+"/requests"] = float64(r.Requests)
+			metrics[name+"/failures"] = float64(r.Failures)
+			metrics[name+"/rps"] = r.RPS
+			metrics[name+"/p50_us"] = r.P50us
+			metrics[name+"/p95_us"] = r.P95us
+			metrics[name+"/p99_us"] = r.P99us
+			metrics[name+"/idle_killed"] = float64(r.IdleKilled)
+			metrics[name+"/rejected_400"] = float64(r.Rejected400)
+			metrics[name+"/timeout_kills"] = float64(r.NetStats.TimeoutKills)
+		}
+		if cmp.Native.RPS > 0 {
+			metrics["rps_ratio"] = cmp.VG.RPS / cmp.Native.RPS
+		}
+		e := record("c10k_eventd", ns, allocs, ab, metrics)
+		e.Breakdown = map[string]map[string]uint64{
+			"c10k/native": experiments.BreakdownMap(cmp.Native.Ledger),
+			"c10k/vghost": experiments.BreakdownMap(cmp.VG.Ledger),
+		}
+	}
 	if run("snap") {
 		var rows []experiments.SnapRow
 		ns, allocs, ab := timed(func() { rows = experiments.SnapDifferential() })
@@ -420,7 +449,7 @@ func main() {
 }
 
 // experimentNames are the valid -only values, in run order.
-var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide", "fuse", "snap"}
+var experimentNames = []string{"t2", "t3", "t4", "f2", "f3", "f4", "t5", "sec", "cpu", "elide", "fuse", "c10k", "snap"}
 
 // execFlags assembles the shared engine-flag set for kernel validation,
 // recording which of -elide/-fuse the user passed explicitly

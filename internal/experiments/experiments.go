@@ -25,6 +25,10 @@ type Scale struct {
 	HTTPRequests int // paper: 10000 per size
 	SSHRuns      int // paper: 20 per size
 	PostmarkTxns int // paper: 500000
+	// C10KConns is the concurrent-connection target of the C10K
+	// experiment; C10KRequests is the per-connection request count.
+	C10KConns    int
+	C10KRequests int
 	// Parallel fans independent measurements (Table 2 rows, Table 3/4
 	// sizes) out over host goroutines. Each measurement boots its own
 	// systems on its own virtual clock, so results are bit-identical to
@@ -34,12 +38,14 @@ type Scale struct {
 
 // QuickScale is small enough for unit tests.
 func QuickScale() Scale {
-	return Scale{LMBenchIters: 40, FileCount: 60, HTTPRequests: 6, SSHRuns: 2, PostmarkTxns: 400}
+	return Scale{LMBenchIters: 40, FileCount: 60, HTTPRequests: 6, SSHRuns: 2, PostmarkTxns: 400,
+		C10KConns: 300, C10KRequests: 2}
 }
 
 // FullScale is the cmd/vgbench default (minutes of host time).
 func FullScale() Scale {
-	return Scale{LMBenchIters: 300, FileCount: 300, HTTPRequests: 40, SSHRuns: 5, PostmarkTxns: 20000}
+	return Scale{LMBenchIters: 300, FileCount: 300, HTTPRequests: 40, SSHRuns: 5, PostmarkTxns: 20000,
+		C10KConns: 10000, C10KRequests: 2}
 }
 
 // newSystem produces a ready-to-measure default-configuration system.

@@ -134,7 +134,11 @@ type BenchEntry struct {
 // seconds of boot work skipped by forking systems from a snapshot
 // bundle) and snapshot_bytes (encoded bundle size), plus the snap
 // entry (per-config cold/warm/image cycles and bit-identical flag).
-const BenchSchemaVersion = 5
+// v6: adds the c10k_eventd entry (event-driven web service under
+// concurrent load: per-config peak_conns/requests/rps and
+// p50/p95/p99 virtual latency µs, adversary outcomes, and server-side
+// syn_drops/timeout_kills counters).
+const BenchSchemaVersion = 6
 
 // BenchReport is the cross-PR perf trajectory record written by
 // `vgbench -json` as BENCH_<date>.json.

@@ -139,6 +139,47 @@ type Clock struct {
 	sharding  bool
 	shardBase uint64 // global cycles at BeginShardPhase (view origin)
 	shards    []clockShard
+
+	// idleSources are the kernels sharing this clock. When every source
+	// is idle (no runnable work anywhere) but timers are armed, the
+	// schedulers skip virtual time forward to the earliest expiry
+	// instead of busy-waiting — the simulation analogue of the CPU
+	// halting until the next timer interrupt. Host-side wiring, not
+	// architectural state (re-registered at boot, never serialized).
+	idleSources []IdleSource
+}
+
+// IdleSource is one scheduler's view for the idle-time protocol:
+// the earliest virtual-time timer it has armed (hasTimer=false when
+// none) and whether it has runnable work right now (a runnable process
+// or undelivered network input).
+type IdleSource interface {
+	IdleInfo() (next uint64, hasTimer, runnable bool)
+}
+
+// RegisterIdleSource adds a scheduler to the clock's idle protocol.
+func (c *Clock) RegisterIdleSource(s IdleSource) {
+	c.idleSources = append(c.idleSources, s)
+}
+
+// IdleTarget returns the earliest armed timer expiry across every
+// registered source, but only if no source has runnable work — a
+// runnable process anywhere on the shared clock means virtual time
+// must not skip. ok=false when skipping is not allowed or no timer is
+// armed.
+func (c *Clock) IdleTarget() (uint64, bool) {
+	var best uint64
+	found := false
+	for _, s := range c.idleSources {
+		next, has, runnable := s.IdleInfo()
+		if runnable {
+			return 0, false
+		}
+		if has && (!found || next < best) {
+			best, found = next, true
+		}
+	}
+	return best, found
 }
 
 // clockShard is one CPU's private accumulator during a parallel user

@@ -90,13 +90,22 @@ type DiskSnap struct {
 	FailNext int            `json:"fail_next,omitempty"`
 }
 
-// NICSnap is the network interface: the undelivered receive queue and
+// NICSnap is the network interface: the undelivered receive queue in
+// global arrival order (the per-port split is rebuilt on apply) and
 // the cumulative counters.
 type NICSnap struct {
-	RX             []Packet `json:"rx,omitempty"`
-	BytesSent      uint64   `json:"bytes_sent"`
-	BytesReceived  uint64   `json:"bytes_received"`
-	PacketsDropped uint64   `json:"packets_dropped"`
+	RX             []Packet       `json:"rx,omitempty"`
+	BytesSent      uint64         `json:"bytes_sent"`
+	BytesReceived  uint64         `json:"bytes_received"`
+	PacketsDropped uint64         `json:"packets_dropped"`
+	PortDrops      []PortDropSnap `json:"port_drops,omitempty"`
+}
+
+// PortDropSnap is one port's cumulative queue-overflow drop count,
+// sorted by port for a stable encoding.
+type PortDropSnap struct {
+	Port  uint16 `json:"port"`
+	Drops uint64 `json:"drops"`
 }
 
 // IOMMUSnap is the DMA-visibility table (sorted) and the command latch.
@@ -335,20 +344,41 @@ func (n *NIC) captureSnap() NICSnap {
 		BytesReceived:  n.bytesReceived,
 		PacketsDropped: n.packetsDropped,
 	}
-	for _, p := range n.rx {
-		s.RX = append(s.RX, Packet{Port: p.Port, Payload: append([]byte(nil), p.Payload...)})
+	// Snoop returns copies in global arrival order — exactly the wire
+	// state the image must preserve.
+	s.RX = n.Snoop()
+	for port, d := range n.portDrops {
+		s.PortDrops = append(s.PortDrops, PortDropSnap{Port: port, Drops: d})
 	}
+	sort.Slice(s.PortDrops, func(i, j int) bool { return s.PortDrops[i].Port < s.PortDrops[j].Port })
 	return s
 }
 
 func (n *NIC) applySnap(s *NICSnap) {
-	n.rx = n.rx[:0]
+	clear(n.rxq)
+	clear(n.queuedBytes)
+	clear(n.portDrops)
+	n.rxPorts = n.rxPorts[:0]
+	n.rxCount = 0
+	n.nextSeq = 0
+	// Requeue in arrival order; seq numbers regenerate identically
+	// because delivery order is the serialized order.
 	for _, p := range s.RX {
-		n.rx = append(n.rx, Packet{Port: p.Port, Payload: append([]byte(nil), p.Payload...)})
+		cp := Packet{Port: p.Port, Payload: append([]byte(nil), p.Payload...)}
+		if len(n.rxq[cp.Port]) == 0 {
+			n.insertPort(cp.Port)
+		}
+		n.rxq[cp.Port] = append(n.rxq[cp.Port], rxPacket{pkt: cp, seq: n.nextSeq})
+		n.nextSeq++
+		n.rxCount++
+		n.queuedBytes[cp.Port] += uint64(len(cp.Payload))
 	}
 	n.bytesSent = s.BytesSent
 	n.bytesReceived = s.BytesReceived
 	n.packetsDropped = s.PacketsDropped
+	for _, pd := range s.PortDrops {
+		n.portDrops[pd.Port] = pd.Drops
+	}
 }
 
 func (i *IOMMU) captureSnap() IOMMUSnap {

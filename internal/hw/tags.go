@@ -73,6 +73,12 @@ const (
 	// the passage of time). Production charge paths never use it — a
 	// source-scan test keeps raw Advance calls out of non-test code.
 	TagOther
+	// TagNet is network-path work split out of TagIO: NIC serialization
+	// and latency, loopback delivery, and idle-time skips while every
+	// runnable process waits on a network timer. Appended after TagOther
+	// so ledgers serialized before the split decode with their original
+	// tag meanings intact.
+	TagNet
 
 	// NumTags sizes per-tag arrays.
 	NumTags
@@ -81,7 +87,7 @@ const (
 var tagNames = [NumTags]string{
 	"mem-access", "sandbox", "cfi", "engine", "verify", "trap",
 	"ic-save", "mmu-check", "tlb", "crypt", "sched", "ipi", "io",
-	"shadow", "compute", "other",
+	"shadow", "compute", "other", "net",
 }
 
 // String returns the tag's stable snake-ish name, used in trace export,

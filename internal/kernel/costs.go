@@ -75,4 +75,17 @@ const (
 	workNetPerPacket = 120
 	// workSched is one scheduler pass (runqueue manipulation).
 	workSched = 90
+	// workPollCreate is poll-set allocation (sysPollCreate).
+	workPollCreate = 300
+	// workPollCtl covers poll-set edits, nonblock toggles, and socket
+	// timeout arming — small descriptor-table manipulations.
+	workPollCtl = 120
+	// workPollWaitBase + workPollPerEvent model sysPollWait: a fixed
+	// entry cost plus work per *reported* event — O(ready), never
+	// O(members), which is the epoll cost shape that makes the C10K
+	// server's syscall bill scale with traffic instead of connections.
+	workPollWaitBase = 180
+	workPollPerEvent = 30
+	// workTimerFire is the wheel-expiry bookkeeping per fired timer.
+	workTimerFire = 60
 )

@@ -62,6 +62,12 @@ func (k *Kernel) runEpochs(done func() bool) bool {
 			return true
 		}
 		if !k.epoch() {
+			// All CPUs idle. If everything is blocked on network
+			// timers, skip virtual time to the next expiry and try
+			// another epoch (the due timer fires in its Poll).
+			if k.idleAdvance() {
+				continue
+			}
 			if done == nil {
 				return false
 			}

@@ -27,23 +27,33 @@ type FileDesc struct {
 	Seekable bool
 }
 
-// allocFD installs ops in the lowest free descriptor slot. The second
+// allocFD installs ops in the lowest free descriptor slot, growing the
+// table (up to maxFDs) when every existing slot is taken. The second
 // result is a plain errno code (0 = success); syscall handlers negate
 // it exactly once via errno().
 func (p *Proc) allocFD(ops FileOps, seekable bool) (int, uint64) {
-	for i := 0; i < maxFDs; i++ {
+	d := &FileDesc{Ops: ops, Refs: 1, Seekable: seekable}
+	// Slots below fdHint are all occupied, so this scan touches only
+	// slots freed since the last alloc (amortized O(1)).
+	for i := p.fdHint; i < len(p.fds); i++ {
 		if p.fds[i] == nil {
-			p.fds[i] = &FileDesc{Ops: ops, Refs: 1, Seekable: seekable}
+			p.fds[i] = d
+			p.fdHint = i + 1
 			return i, 0
 		}
 	}
-	return -1, EMFILE
+	if len(p.fds) >= maxFDs {
+		return -1, EMFILE
+	}
+	p.fds = append(p.fds, d)
+	p.fdHint = len(p.fds)
+	return len(p.fds) - 1, 0
 }
 
 // fd fetches a descriptor; the errno result follows allocFD's
 // convention.
 func (p *Proc) fd(n int) (*FileDesc, uint64) {
-	if n < 0 || n >= maxFDs || p.fds[n] == nil {
+	if n < 0 || n >= len(p.fds) || p.fds[n] == nil {
 		return nil, EBADF
 	}
 	return p.fds[n], 0
@@ -56,6 +66,9 @@ func (p *Proc) closeFD(k *Kernel, n int) uint64 {
 		return e
 	}
 	p.fds[n] = nil
+	if n < p.fdHint {
+		p.fdHint = n
+	}
 	d.Refs--
 	if d.Refs == 0 {
 		if err := d.Ops.Close(k); err != nil {
@@ -67,7 +80,7 @@ func (p *Proc) closeFD(k *Kernel, n int) uint64 {
 
 // closeAllFDs releases every descriptor at exit.
 func (p *Proc) closeAllFDs(k *Kernel) {
-	for i := 0; i < maxFDs; i++ {
+	for i := range p.fds {
 		if p.fds[i] != nil {
 			_ = p.closeFD(k, i)
 		}

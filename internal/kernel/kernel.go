@@ -60,6 +60,12 @@ const (
 	SysSwapOut = 570 // OS-initiated ghost swap (experiment hook)
 	SysRandom  = 571 // /dev/random-style OS randomness (attackable)
 	SysYield   = 572
+	// Event-driven networking (DESIGN.md §19).
+	SysPollCreate = 573 // allocate an empty poll set, returns its fd
+	SysPollCtl    = 574 // (pollfd, op, fd, events) add/mod/del a member
+	SysPollWait   = 575 // (pollfd, evbuf, maxev, timeout) wait for readiness
+	SysNonblock   = 576 // (fd, on) toggle a socket's blocking discipline
+	SysSockTimeo  = 577 // (fd, cycles) connect timeout / idle auto-close
 )
 
 // Errno values returned (negated) by syscalls.
@@ -78,7 +84,14 @@ const (
 	ENOSPC  = 28
 	ESPIPE  = 29
 	EPIPE   = 32
-	ENOSYS  = 78
+	// EAGAIN: a nonblocking operation would block, or a resource pool
+	// (ephemeral ports) is exhausted — retry later.
+	EAGAIN    = 35
+	ETIMEDOUT = 60
+	// ECONNREFUSED: the destination port answered a SYN with an RST
+	// (nobody listening there).
+	ECONNREFUSED = 61
+	ENOSYS       = 78
 )
 
 // errno encodes an error as a negative return value.
@@ -489,6 +502,10 @@ func Boot(hal core.HAL) (*Kernel, error) {
 	}
 	k.FS = fs
 	k.Net = NewNetStack(k)
+	// Join the clock's idle protocol: when every kernel sharing the
+	// clock is idle but timers are armed, the schedulers skip virtual
+	// time to the earliest expiry (sched.go idleAdvance).
+	k.M.Clock.RegisterIdleSource(k)
 	k.installSyscalls()
 	// The kernel's own IR routines pass through the translator like
 	// every other piece of OS code.
@@ -533,6 +550,11 @@ func (k *Kernel) installSyscalls() {
 	k.syscalls[SysAccept] = sysAccept
 	k.syscalls[SysSendTo] = sysSendTo
 	k.syscalls[SysRecv] = sysRecv
+	k.syscalls[SysPollCreate] = sysPollCreate
+	k.syscalls[SysPollCtl] = sysPollCtl
+	k.syscalls[SysPollWait] = sysPollWait
+	k.syscalls[SysNonblock] = sysNonblock
+	k.syscalls[SysSockTimeo] = sysSockTimeo
 }
 
 // SetSyscallHandler replaces a syscall handler and returns the previous

@@ -172,9 +172,9 @@ func (k *Kernel) mmapRegion(p *Proc, npages int, fd int, off int64) (hw.Virt, ui
 	p.mmapNext += hw.Virt(npages+1) * hw.PageSize // guard gap
 	v := &VMA{Base: base, NPages: npages, Kind: vmaAnon}
 	if fd >= 0 {
-		fdesc := p.fds[fd]
-		if fdesc == nil {
-			return 0, errno(EBADF)
+		fdesc, e := p.fd(fd)
+		if e != 0 {
+			return 0, errno(e)
 		}
 		ff, ok := fdesc.Ops.(*fsFile)
 		if !ok {

@@ -24,7 +24,11 @@ const (
 	UserMmapBase hw.Virt = 0x00007f0000000000
 	UserStackTop hw.Virt = 0x00007ffffffff000
 	stackPages           = 16
-	maxFDs               = 256
+	// maxFDs caps the per-process descriptor table. The table is a
+	// grow-on-demand slice, so the cap is a resource limit (RLIMIT_NOFILE
+	// analogue), not an allocation: a C10K server holding tens of
+	// thousands of sockets pays only for the slots it uses.
+	maxFDs = 32768
 )
 
 // procState is a process's scheduler state.
@@ -128,8 +132,12 @@ type Proc struct {
 	allocPtr hw.Virt // bump pointer for the user heap
 	ghostBrk hw.Virt // bump pointer for ghost allocations
 
-	// files
-	fds [maxFDs]*FileDesc
+	// files: descriptor table, grown on demand up to maxFDs. fdHint is
+	// the lowest possibly-free slot — every slot below it is occupied —
+	// so allocFD keeps POSIX lowest-free semantics at amortized O(1)
+	// instead of scanning the table per open.
+	fds    []*FileDesc
+	fdHint int
 
 	// signals (kernel side)
 	sigHandlers map[int]uint64

@@ -176,8 +176,11 @@ func (k *Kernel) schedStep() bool {
 }
 
 // RunUntilIdle schedules processes until none is runnable (all blocked,
-// zombies, or no processes left). Network input is polled between
-// dispatches so packets from a peer machine wake blocked readers.
+// zombies, or no processes left) and no armed timer can unblock one.
+// Network input is polled between dispatches so packets from a peer
+// machine wake blocked readers; when everything is blocked on timers,
+// virtual time skips to the next expiry (idleAdvance) instead of
+// busy-spinning.
 func (k *Kernel) RunUntilIdle() {
 	if k.epochMode {
 		k.runEpochs(nil)
@@ -185,7 +188,7 @@ func (k *Kernel) RunUntilIdle() {
 	}
 	for {
 		k.Net.Poll()
-		if !k.schedStep() {
+		if !k.schedStep() && !k.idleAdvance() {
 			return
 		}
 	}
@@ -199,9 +202,55 @@ func (k *Kernel) RunUntil(done func() bool) bool {
 	}
 	for !done() {
 		k.Net.Poll()
-		if !k.schedStep() {
+		if !k.schedStep() && !k.idleAdvance() {
 			return done()
 		}
+	}
+	return true
+}
+
+// IdleInfo implements hw.IdleSource: the earliest armed network timer
+// and whether this kernel has work that must run before virtual time
+// may skip (a runnable process, or pending NIC frames that a drain
+// could actually deliver — window-blocked frames don't count, their
+// delivery depends on a consumer that is itself blocked).
+func (k *Kernel) IdleInfo() (uint64, bool, bool) {
+	runnable := k.Net.deliverable()
+	if !runnable {
+		for _, p := range k.procs {
+			if p.state == procRunnable && !p.inflight {
+				runnable = true
+				break
+			}
+		}
+	}
+	next, has := k.Net.timerNext()
+	return next, has, runnable
+}
+
+// idleAdvance is the timer-interrupt half of idle handling: with every
+// process blocked, if this kernel's earliest armed timer is the
+// soonest event on the shared clock (no kernel anywhere has runnable
+// work, none has an earlier timer), virtual time skips straight to
+// that expiry — the simulation analogue of halting until the next
+// timer interrupt. The skipped span is charged to TagNet (it exists
+// only because a network timeout is pending). Reports whether the
+// caller should poll again: the due timer fires on the next Poll.
+func (k *Kernel) idleAdvance() bool {
+	mine, has := k.Net.timerNext()
+	if !has {
+		return false
+	}
+	target, ok := k.M.Clock.IdleTarget()
+	if !ok {
+		return false // someone on this clock still has runnable work
+	}
+	if target < mine {
+		return false // an earlier timer elsewhere: that kernel skips
+	}
+	now := k.M.Clock.Cycles()
+	if mine > now {
+		k.M.Clock.Charge(hw.TagNet, mine-now)
 	}
 	return true
 }
@@ -242,7 +291,10 @@ type World struct {
 }
 
 // Run alternates the kernels until done() or global quiescence.
-// It reports whether done() was satisfied.
+// It reports whether done() was satisfied. Progress is a context
+// switch or any virtual-time charge: a timer-driven pass (idle skip,
+// expiry handlers) can make progress — close connections, send FINs —
+// without dispatching a process, and must not read as quiescence.
 func (w *World) Run(done func() bool) bool {
 	for {
 		if done() {
@@ -250,9 +302,10 @@ func (w *World) Run(done func() bool) bool {
 		}
 		progress := false
 		for _, k := range w.Kernels {
-			before := k.stats.ContextSwitch
+			beforeCS := k.stats.ContextSwitch
+			beforeCycles := k.M.Clock.Cycles()
 			k.RunUntilIdle()
-			if k.stats.ContextSwitch != before {
+			if k.stats.ContextSwitch != beforeCS || k.M.Clock.Cycles() != beforeCycles {
 				progress = true
 			}
 		}

@@ -21,7 +21,10 @@ const (
 	SnapshotImageMagic = "VGSNAP\r\n"
 	// SnapshotImageVersion is the current image format version. Bump on
 	// any change to the header, section layout, or payload encoding.
-	SnapshotImageVersion = 1
+	// v2: KernelSnap.NextPort folded into a NetSnap section (port range,
+	// receive-window default, net counters, timer-id cursor); NICSnap
+	// gained per-port drop counters.
+	SnapshotImageVersion = 2
 	// SnapshotHeaderSize is the fixed header length:
 	// magic(8) | version(4 LE) | flags(4 LE).
 	SnapshotHeaderSize = 16

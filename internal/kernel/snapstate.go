@@ -94,6 +94,22 @@ type SwappedGhostSnap struct {
 	Blob []byte `json:"blob"`
 }
 
+// NetSnap is the network stack's residue at quiescence: the port
+// allocator cursor and range, the window default, the cumulative
+// drop/timeout counters, and the timer-arm sequence (timer ids break
+// same-expiry firing ties, so the cursor must survive restore for
+// resumed runs to stay bit-identical with straight runs). Connections,
+// listeners, poll sets, and armed timers are empty by the quiescence
+// contract.
+type NetSnap struct {
+	NextPort   uint16 `json:"next_port"`
+	PortLo     uint16 `json:"port_lo"`
+	PortHi     uint16 `json:"port_hi"`
+	RecvWindow int    `json:"recv_window"`
+	TimerSeq   uint64 `json:"timer_seq"`
+	Stats      NetStats
+}
+
 // KernelSnap is the serializable kernel state at a quiescent point.
 type KernelSnap struct {
 	NextPID      int                `json:"next_pid"`
@@ -103,7 +119,7 @@ type KernelSnap struct {
 	SysProf      []SyscallCycles    `json:"sys_prof,omitempty"`
 	ModLog       []byte             `json:"mod_log,omitempty"`
 	SwappedGhost []SwappedGhostSnap `json:"swapped_ghost,omitempty"`
-	NextPort     uint16             `json:"next_port"`
+	Net          NetSnap            `json:"net"`
 	FS           FSSnap             `json:"fs"`
 	BufCache     BufCacheSnap       `json:"buf_cache"`
 	Modules      []ModuleID         `json:"modules"`
@@ -134,6 +150,9 @@ func (k *Kernel) checkQuiescent() error {
 	}
 	if n := len(k.Net.listeners); n > 0 {
 		return fmt.Errorf("%w: %d listeners open", ErrNotQuiescent, n)
+	}
+	if n := k.Net.wheel.pendingCount(); n > 0 {
+		return fmt.Errorf("%w: %d network timers armed", ErrNotQuiescent, n)
 	}
 	return nil
 }
@@ -177,12 +196,19 @@ func (k *Kernel) CaptureKernelSnap() (*KernelSnap, error) {
 		return nil, err
 	}
 	s := &KernelSnap{
-		NextPID:  k.nextPID,
-		LastCPU:  k.lastCPU,
-		Stats:    k.stats,
-		ModLog:   append([]byte(nil), k.modLogBuf...),
-		NextPort: k.Net.nextPort,
-		Modules:  k.ModuleIdentity(),
+		NextPID: k.nextPID,
+		LastCPU: k.lastCPU,
+		Stats:   k.stats,
+		ModLog:  append([]byte(nil), k.modLogBuf...),
+		Net: NetSnap{
+			NextPort:   k.Net.nextPort,
+			PortLo:     k.Net.portLo,
+			PortHi:     k.Net.portHi,
+			RecvWindow: k.Net.defWindow,
+			TimerSeq:   uint64(k.Net.wheel.nextID),
+			Stats:      k.Net.stats,
+		},
+		Modules: k.ModuleIdentity(),
 	}
 	for _, c := range k.cpus {
 		s.CPUs = append(s.CPUs, CPURunSnap{LastPID: c.lastPID, Busy: c.busy})
@@ -257,7 +283,16 @@ func (k *Kernel) ApplyKernelSnap(s *KernelSnap) error {
 	}
 	clear(k.Net.conns)
 	clear(k.Net.listeners)
-	k.Net.nextPort = s.NextPort
+	k.Net.nextPort = s.Net.NextPort
+	k.Net.portLo = s.Net.PortLo
+	k.Net.portHi = s.Net.PortHi
+	k.Net.defWindow = s.Net.RecvWindow
+	k.Net.stats = s.Net.Stats
+	// Armed timers are empty by the quiescence contract; a fresh wheel at
+	// the restored clock with the captured id cursor reproduces the
+	// pre-snapshot wheel exactly.
+	k.Net.wheel = newTimerWheel(k.M.Clock.Cycles())
+	k.Net.wheel.nextID = timerID(s.Net.TimerSeq)
 	k.FS.applySnap(s.FS)
 	k.FS.cache.applySnap(s.BufCache)
 	// Host-side execution caches are keyed by pre-restore structures

@@ -65,12 +65,14 @@ func sysFork(k *Kernel, p *Proc, ic core.IContext) uint64 {
 		return errno(ENOMEM)
 	}
 	// Share file descriptors (refcounted open-file entries).
+	child.fds = make([]*FileDesc, len(p.fds))
 	for i, d := range p.fds {
 		if d != nil {
 			d.Refs++
 			child.fds[i] = d
 		}
 	}
+	child.fdHint = p.fdHint
 	// Clone signal dispositions and the user-side code registry (same
 	// image).
 	for sig, h := range p.sigHandlers {

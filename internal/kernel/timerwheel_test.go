@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// fireLog arms a wheel entry that appends its label when fired.
+func fireLog(w *timerWheel, now, delay uint64, log *[]int, label int) timerID {
+	return w.after(now, delay, func() { *log = append(*log, label) })
+}
+
+func TestWheelFiresInExpiryOrder(t *testing.T) {
+	w := newTimerWheel(0)
+	var log []int
+	// Deliberately armed out of order, spanning several levels.
+	fireLog(w, 0, 5*wheelGranularity, &log, 2)
+	fireLog(w, 0, 1*wheelGranularity, &log, 0)
+	fireLog(w, 0, 100*wheelGranularity, &log, 3)    // level 1
+	fireLog(w, 0, 10_000*wheelGranularity, &log, 4) // level 2
+	fireLog(w, 0, 2*wheelGranularity, &log, 1)
+	if got := w.pendingCount(); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+	if n := w.advance(20_000 * wheelGranularity); n != 5 {
+		t.Fatalf("advance fired %d, want 5", n)
+	}
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("fire order %v", log)
+		}
+	}
+	if w.pendingCount() != 0 {
+		t.Errorf("pending after drain = %d", w.pendingCount())
+	}
+}
+
+func TestWheelSameExpiryBreaksTiesByID(t *testing.T) {
+	w := newTimerWheel(0)
+	var log []int
+	for i := 0; i < 8; i++ {
+		fireLog(w, 0, 3*wheelGranularity, &log, i)
+	}
+	w.advance(4 * wheelGranularity)
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("same-expiry order %v, want arm order", log)
+		}
+	}
+}
+
+func TestWheelIncrementalAdvance(t *testing.T) {
+	w := newTimerWheel(0)
+	var log []int
+	fireLog(w, 0, 2*wheelGranularity, &log, 1)
+	fireLog(w, 0, 70*wheelGranularity, &log, 2) // next level up
+	if n := w.advance(wheelGranularity); n != 0 {
+		t.Fatalf("fired %d early", n)
+	}
+	if n := w.advance(3 * wheelGranularity); n != 1 || len(log) != 1 || log[0] != 1 {
+		t.Fatalf("first: n=%d log=%v", n, log)
+	}
+	// Cascade: the level-1 entry must land in its exact level-0 slot.
+	if n := w.advance(69 * wheelGranularity); n != 0 {
+		t.Fatalf("level-1 entry fired %d ticks early", n)
+	}
+	if n := w.advance(71 * wheelGranularity); n != 1 || log[len(log)-1] != 2 {
+		t.Fatalf("cascaded entry: n=%d log=%v", n, log)
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	w := newTimerWheel(0)
+	var log []int
+	id := fireLog(w, 0, 2*wheelGranularity, &log, 1)
+	fireLog(w, 0, 2*wheelGranularity, &log, 2)
+	if !w.cancel(id) {
+		t.Fatal("cancel of live timer failed")
+	}
+	if w.cancel(id) {
+		t.Fatal("double cancel succeeded")
+	}
+	if w.pendingCount() != 1 {
+		t.Fatalf("pending = %d after cancel", w.pendingCount())
+	}
+	if n := w.advance(3 * wheelGranularity); n != 1 || len(log) != 1 || log[0] != 2 {
+		t.Fatalf("canceled timer fired: n=%d log=%v", n, log)
+	}
+}
+
+func TestWheelOverflowBeyondTopLevel(t *testing.T) {
+	w := newTimerWheel(0)
+	var log []int
+	// Beyond the wheel's total span: parked in the sorted overflow list.
+	horizon := uint64(wheelSlots) * uint64(wheelSlots) * uint64(wheelSlots) * uint64(wheelSlots) * wheelGranularity
+	fireLog(w, 0, horizon*2, &log, 1)
+	if n := w.advance(horizon); n != 0 {
+		t.Fatalf("overflow entry fired early")
+	}
+	if n := w.advance(horizon*2 + wheelGranularity); n != 1 {
+		t.Fatalf("overflow entry never fired")
+	}
+}
+
+func TestWheelNextExpiry(t *testing.T) {
+	w := newTimerWheel(0)
+	if _, ok := w.nextExpiry(); ok {
+		t.Fatal("empty wheel reported an expiry")
+	}
+	var log []int
+	fireLog(w, 0, 40*wheelGranularity, &log, 1)
+	id := fireLog(w, 0, 4*wheelGranularity, &log, 2)
+	next, ok := w.nextExpiry()
+	if !ok || next != 4*wheelGranularity {
+		t.Fatalf("nextExpiry = %d,%v", next, ok)
+	}
+	w.cancel(id)
+	next, ok = w.nextExpiry()
+	if !ok || next != 40*wheelGranularity {
+		t.Fatalf("nextExpiry after cancel = %d,%v", next, ok)
+	}
+}
+
+func TestWheelZeroDelayFiresNextAdvance(t *testing.T) {
+	w := newTimerWheel(1000)
+	var log []int
+	fireLog(w, 1000, 0, &log, 1)
+	if n := w.advance(1000 + wheelGranularity); n != 1 {
+		t.Fatalf("zero-delay timer: fired %d", n)
+	}
+}
